@@ -1,0 +1,54 @@
+"""Availability bench: downtime accounting over the full study.
+
+Not a paper figure, but the operations number the paper's audience
+tracks: fleet availability, MTTR per failure cause, and the monthly
+downtime series (the solder era dominates it).
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.core.availability import availability_report
+from repro.core.report import render_monthly_series, render_table
+from repro.errors.xid import ErrorType
+from repro.faults.rates import OTB_FIX_TIME
+from repro.units import month_index
+
+
+def test_fleet_availability(dataset, benchmark, month_labels):
+    report = benchmark(
+        lambda: availability_report(
+            dataset.node_state_log,
+            window_s=dataset.scenario.end,
+            n_nodes=dataset.machine.n_gpus,
+        )
+    )
+    show(render_table(
+        ["metric", "value"],
+        [
+            ["outages", report.n_outages],
+            ["downtime (node-hours)", f"{report.total_downtime_node_hours:.1f}"],
+            ["availability", f"{report.availability:.6%}"],
+            ["overall MTTR (h)", f"{report.mttr_hours():.2f}"],
+        ],
+    ))
+    show(render_table(
+        ["cause", "MTTR (h)"],
+        [[t.name, f"{v:.2f}"] for t, v in report.mttr_hours_by_cause.items()],
+    ))
+    show(render_monthly_series(
+        month_labels,
+        np.round(report.monthly_downtime_node_hours).astype(int),
+        "downtime node-hours per month",
+    ))
+    assert report.availability > 0.9999
+    # the off-the-bus reseat dwarfs the DBE warm boot
+    assert (
+        report.mttr_hours_by_cause[ErrorType.OFF_THE_BUS]
+        > 3 * report.mttr_hours_by_cause[ErrorType.DBE]
+    )
+    # the solder era owns the downtime series
+    fix_month = int(month_index(OTB_FIX_TIME)[0])
+    before = report.monthly_downtime_node_hours[:fix_month].sum()
+    after = report.monthly_downtime_node_hours[fix_month:].sum()
+    assert before > after

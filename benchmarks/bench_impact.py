@@ -1,0 +1,42 @@
+"""Application-impact bench: pricing each error class in node-hours.
+
+Not a figure of the paper, but the quantity its title promises
+("impact on ... applications"): lost node-hours per error class under a
+standard hourly-checkpoint discipline.
+"""
+
+from conftest import show
+
+from repro.core.impact import application_impact
+from repro.core.report import render_table
+from repro.errors.xid import ErrorType
+
+
+def test_application_impact(study, dataset, benchmark):
+    report = benchmark(
+        lambda: application_impact(study.log, dataset.trace)
+    )
+    rows = [
+        [
+            c.etype.xid if c.etype.xid is not None else "-",
+            c.etype.label[:42],
+            c.n_interruptions,
+            f"{c.lost_node_hours:,.0f}",
+            f"{c.mean_loss_per_interruption:,.0f}",
+        ]
+        for c in report.ranked_classes()[:8]
+    ]
+    show(render_table(
+        ["XID", "class", "interruptions", "lost node-h", "mean/interruption"],
+        rows,
+    ))
+    show(f"  interrupted jobs: {report.n_interrupted_jobs:,} of "
+         f"{report.n_jobs:,} ({report.interruption_rate:.2%}); "
+         f"lost fraction of delivered node-hours: {report.lost_fraction:.3%}")
+    assert 0 < report.interruption_rate < 0.2
+    assert report.lost_fraction < 0.05  # interruptions are a small tax
+    # application XIDs dominate interruption *count*; hardware errors
+    # cost more *per* interruption only if they hit big jobs
+    by_type = report.per_class
+    assert by_type[ErrorType.GRAPHICS_ENGINE_EXCEPTION].n_interruptions > \
+        by_type[ErrorType.DBE].n_interruptions

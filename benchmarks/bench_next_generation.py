@@ -1,0 +1,50 @@
+"""Generation-over-generation comparison bench.
+
+Related work [16, 30]: "newer generations of GPUs exhibit an order of
+magnitude lower soft error rate" and keep improving despite bigger
+structures.  Compare the K20X-era paper scenario against the
+next-generation scenario on the operational numbers a procurement
+review would look at.
+"""
+
+import pytest
+from conftest import show
+
+from repro.core import TitanStudy
+from repro.core.impact import application_impact
+from repro.core.report import render_table
+from repro.sim import Scenario, default_dataset
+
+
+@pytest.fixture(scope="module")
+def nextgen_study():
+    return TitanStudy(default_dataset(Scenario.next_generation()))
+
+
+def test_generation_comparison(study, dataset, nextgen_study, benchmark):
+    def compare():
+        rows = []
+        for label, s in (("K20X era", study), ("next gen", nextgen_study)):
+            fig2 = s.fig2()
+            fig14 = s.fig14()
+            impact = application_impact(s.log, s.ds.trace)
+            rows.append([
+                label,
+                fig2.total,
+                f"{fig2.mtbf_hours:.0f}" if fig2.mtbf_hours else "-",
+                s.fig4().total,
+                fig14.n_cards_with_sbe,
+                f"{impact.lost_fraction:.3%}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    show(render_table(
+        ["generation", "DBEs", "DBE MTBF (h)", "OTB", "SBE cards",
+         "lost node-hours"],
+        rows,
+    ))
+    k20x, nextgen = rows
+    assert int(nextgen[1]) < int(k20x[1]) / 2       # far fewer DBEs
+    assert int(nextgen[3]) == 0                      # no solder defect
+    assert int(nextgen[4]) < int(k20x[4])            # fewer SBE cards

@@ -1,0 +1,43 @@
+"""Pipeline benchmarks: simulation, log rendering, SEC parsing.
+
+Not figures of the paper — these time the substrate itself so
+performance regressions in the simulator or parser are visible.
+"""
+
+from conftest import show
+
+from repro.sim import Scenario, TitanSimulation
+from repro.telemetry.console import ConsoleLogWriter
+from repro.telemetry.parser import ConsoleLogParser
+
+
+def test_simulation_smoke_scale(benchmark):
+    def run():
+        return TitanSimulation(Scenario.smoke(days=20.0)).run()
+
+    dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dataset.machine.n_gpus == 18_688
+
+
+def test_console_render(dataset, benchmark):
+    writer = ConsoleLogWriter(dataset.machine)
+    events = dataset.events.in_window(0.0, 30 * 86400.0)
+
+    text = benchmark.pedantic(
+        lambda: writer.to_text(events), rounds=1, iterations=1
+    )
+    assert text.count("\n") > 0
+    show(f"  rendered {text.count(chr(10))} lines for the first 30 days")
+
+
+def test_console_parse(dataset, benchmark):
+    writer = ConsoleLogWriter(dataset.machine)
+    events = dataset.events.in_window(0.0, 30 * 86400.0)
+    text = writer.to_text(events)
+    parser = ConsoleLogParser(dataset.machine)
+
+    log, stats = benchmark.pedantic(
+        lambda: parser.parse_text(text), rounds=1, iterations=1
+    )
+    assert stats.malformed_lines == 0
+    assert len(log) == stats.parsed_events

@@ -1,0 +1,70 @@
+"""Extension benches: failure prediction and the monthly ops report."""
+
+import numpy as np
+from conftest import show
+
+from repro.core.opsreport import build_monthly_report
+from repro.core.prediction import (
+    evaluate_precursor_model,
+    train_precursor_model,
+)
+from repro.core.report import render_table
+from repro.errors.xid import ErrorType
+
+
+def test_precursor_prediction(study, dataset, benchmark):
+    """Train on months 0-13, evaluate on months 14-20."""
+    split = 14 * 30 * 86_400.0
+    end = dataset.scenario.end
+    log = study.log
+
+    def run():
+        model = train_precursor_model(
+            log.in_window(0.0, split),
+            ErrorType.PREEMPTIVE_CLEANUP,
+            min_probability=0.2,
+        )
+        score = evaluate_precursor_model(
+            model, log.in_window(split, end), test_span_s=end - split
+        )
+        return model, score
+
+    model, score = benchmark(run)
+    show(render_table(
+        ["trigger", "P(cleanup within 300 s)"],
+        [[t.name, f"{model.trigger_probabilities[t]:.2f}"]
+         for t in model.triggers],
+    ))
+    show(f"  precision {score.precision:.2f}  recall {score.recall:.2f}  "
+         f"F1 {score.f1:.2f}  alarm coverage "
+         f"{score.alarm_coverage_fraction:.4%}  "
+         f"lift over random {score.lift_over_random:.0f}x")
+    assert ErrorType.DBE in model.triggers
+    assert score.lift_over_random > 20
+
+
+def test_monthly_ops_reports(study, dataset, benchmark):
+    """Assemble the 21 monthly reports; print one."""
+    totals = dataset.nvsmi_table["sbe_total"]
+
+    def build_all():
+        return [
+            build_monthly_report(
+                study.log, dataset.machine, m, sbe_totals=totals
+            )
+            for m in range(21)
+        ]
+
+    reports = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    show(reports[7].render())  # Jan'14: the retirement XID arrives
+    assert len(reports) == 21
+    assert all(r.total_incidents() > 0 for r in reports)
+    # the retirement class is absent before Jan'14 and present after
+    assert all(
+        ErrorType.ECC_PAGE_RETIREMENT not in r.incident_counts
+        for r in reports[:7]
+    )
+    assert any(
+        ErrorType.ECC_PAGE_RETIREMENT in r.incident_counts
+        for r in reports[7:]
+    )

@@ -1,0 +1,24 @@
+"""Tables 1 and 2: the GPU error catalogs."""
+
+from conftest import show
+
+from repro.core.report import render_table
+
+
+def test_table1_hardware_errors(study, benchmark):
+    rows = benchmark(study.table1)
+    show(render_table(["GPU Error", "XID"], rows))
+    labels = dict(rows)
+    assert labels["Off the Bus"] == "-"
+    assert labels["ECC page retirement error"] == "63,64"
+    assert (
+        labels["Double Bit Error (detected by the SECDED ECC, but not corrected)"]
+        == "48"
+    )
+
+
+def test_table2_software_errors(study, benchmark):
+    rows = benchmark(study.table2)
+    show(render_table(["GPU Error (possible cause)", "XID"], rows))
+    xids = sorted(x for _, x in rows)
+    assert xids == [13, 31, 32, 38, 42, 43, 44, 45, 57, 58, 59, 62]

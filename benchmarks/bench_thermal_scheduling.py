@@ -1,0 +1,41 @@
+"""Temperature-aware scheduling bench (Observation 4's operational use).
+
+"This observation was used for improved job scheduling for large GPU
+jobs at OLCF" — quantify it: thermally-accelerated error exposure of a
+job under the default torus ordering vs the cage-aware ordering.
+"""
+
+from conftest import show
+
+from repro.core.report import render_table
+from repro.workload.policies import (
+    expected_thermal_exposure,
+    thermal_aware_order,
+    torus_order,
+)
+
+
+def test_thermal_scheduling_payoff(dataset, benchmark):
+    machine, thermal = dataset.machine, dataset.thermal
+
+    def sweep():
+        naive = torus_order(machine)
+        aware = thermal_aware_order(machine)
+        rows = []
+        for nodes in (128, 1024, 4096, 12_288, 18_688):
+            a = expected_thermal_exposure(machine, thermal, naive, nodes)
+            b = expected_thermal_exposure(machine, thermal, aware, nodes)
+            rows.append([nodes, f"{a:.3f}", f"{b:.3f}", f"{(1 - b / a):.1%}"])
+        return rows
+
+    rows = benchmark(sweep)
+    show(render_table(
+        ["job nodes", "torus-order exposure", "cage-aware exposure",
+         "error-exposure reduction"],
+        rows,
+    ))
+    # meaningful reduction for anything that fits below the top cage
+    assert float(rows[1][2]) < float(rows[1][1])
+    assert float(rows[2][2]) < float(rows[2][1])
+    # the whole machine: no free lunch
+    assert abs(float(rows[4][1]) - float(rows[4][2])) < 1e-6

@@ -1,0 +1,42 @@
+"""Benchmark fixtures: one paper-scenario simulation per session.
+
+Every ``bench_figXX`` file regenerates one table/figure of the paper,
+printing the same rows/series the paper reports (run pytest with ``-s``
+to see them) and timing the analysis kernel under pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TitanStudy
+from repro.sim import Scenario, default_dataset
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return default_dataset(Scenario.paper())
+
+
+@pytest.fixture(scope="session")
+def study(dataset):
+    s = TitanStudy(dataset)
+    _ = s.log  # pay the render+parse cost once, outside the timings
+    return s
+
+
+@pytest.fixture(scope="session")
+def month_labels():
+    from repro.units import month_labels as labels
+
+    return labels()
+
+
+def show(text: str) -> None:
+    """Print a figure block (visible with ``pytest -s``)."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper, end to end.
+
+Runs the full 21-month paper scenario, prints each figure as terminal
+text, and writes the underlying series to CSV under ``figures_out/``
+for external plotting.
+
+Usage::
+
+    python examples/paper_figures.py [--seed N] [--outdir figures_out]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core import TitanStudy
+from repro.core.report import render_heatmap, render_monthly_series, render_table
+from repro.sim import Scenario, TitanSimulation
+from repro.units import month_labels
+from repro.viz.csvout import write_grid_csv, write_rows_csv, write_series_csv
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=20131001)
+    parser.add_argument("--outdir", type=Path, default=Path("figures_out"))
+    args = parser.parse_args()
+    out = args.outdir
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("Simulating the full Jun'2013-Feb'2015 study...")
+    dataset = TitanSimulation(Scenario.paper(seed=args.seed)).run()
+    study = TitanStudy(dataset)
+    labels = month_labels()
+
+    # Tables -----------------------------------------------------------------
+    print(render_table(["GPU Error", "XID"], study.table1()))
+    print()
+    print(render_table(["GPU Error (cause)", "XID"], study.table2()))
+    write_rows_csv(out / "table1.csv", ["error", "xid"], study.table1())
+    write_rows_csv(out / "table2.csv", ["error", "xid"], study.table2())
+
+    # Monthly figures ----------------------------------------------------------
+    monthly = {
+        "fig02_dbe": study.fig2(),
+        "fig04_otb": study.fig4(),
+        "fig06_retirement": study.fig6(),
+        "fig10_xid13": study.fig10(),
+    }
+    for xid, fig in study.fig9().items():
+        monthly[f"fig09_xid{xid}"] = fig
+    for xid, fig in study.fig11().items():
+        monthly[f"fig11_xid{xid}"] = fig
+    for name, fig in monthly.items():
+        print()
+        print(render_monthly_series(labels, fig.counts, name))
+        write_series_csv(out / f"{name}.csv", labels, fig.counts,
+                         label_name="month", value_name="events")
+    print(f"\nFig. 2 MTBF: {study.fig2().mtbf_hours:.1f} h (paper ~160 h)")
+
+    # Spatial figures -------------------------------------------------------------
+    for name, fig in (("fig03_dbe", study.fig3()), ("fig05_otb", study.fig5()),
+                      ("fig07_retirement", study.fig7())):
+        print()
+        print(render_heatmap(fig.grid, title=f"{name} cabinet heatmap"))
+        write_grid_csv(out / f"{name}_grid.csv", fig.grid)
+        write_rows_csv(
+            out / f"{name}_cages.csv",
+            ["cage", "events", "distinct_cards"],
+            [[c, int(fig.cage_events[c]), int(fig.cage_distinct_cards[c])]
+             for c in range(3)],
+        )
+
+    # Fig. 8 -----------------------------------------------------------------------
+    fig8 = study.fig8()
+    print(f"\nFig. 8: {fig8.n_within_10min} retirements <=10 min after a DBE, "
+          f"{fig8.n_10min_to_6h} in 10 min-6 h, {fig8.n_beyond_6h} later; "
+          f"{fig8.n_dbe_pairs_without_retirement} DBE pairs w/o retirement")
+    write_rows_csv(out / "fig08_delays.csv", ["delay_s"],
+                   [[d] for d in fig8.delays_s.tolist()])
+
+    # Fig. 12 / 13 / 14 / 15 ----------------------------------------------------------
+    fig12 = study.fig12()
+    for variant, grid in (("unfiltered", fig12.grid_unfiltered),
+                          ("filtered", fig12.grid_filtered),
+                          ("children", fig12.grid_children)):
+        write_grid_csv(out / f"fig12_{variant}.csv", grid)
+    print(f"\nFig. 12 alternation scores: raw {fig12.alternation_unfiltered:+.3f}, "
+          f"filtered {fig12.alternation_filtered:+.3f}, "
+          f"children {fig12.alternation_children:+.3f}")
+
+    fm = study.fig13()
+    print()
+    print(render_heatmap(fm.matrix, row_labels=fm.labels(),
+                         col_labels=fm.labels(), title="Fig. 13"))
+    write_rows_csv(
+        out / "fig13_matrix.csv",
+        ["previous", "following", "probability"],
+        [
+            [fm.labels()[i], fm.labels()[j], float(fm.matrix[i, j])]
+            for i in range(len(fm.types))
+            for j in range(len(fm.types))
+        ],
+    )
+
+    fig14 = study.fig14()
+    for name, grid in fig14.grids.items():
+        write_grid_csv(out / f"fig14_{name}.csv", grid)
+    print(f"\nFig. 14 skewness: " +
+          ", ".join(f"{k}={v:.2f}" for k, v in fig14.skewness.items()))
+
+    fig15 = study.fig15()
+    write_rows_csv(
+        out / "fig15_cages.csv",
+        ["variant", "cage", "events", "distinct_cards"],
+        [
+            [name, c, int(fig15.cage_events[name][c]),
+             int(fig15.cage_distinct[name][c])]
+            for name in fig15.cage_events
+            for c in range(3)
+        ],
+    )
+
+    # Figs. 16-21 -------------------------------------------------------------------
+    report = study.figs16_19()
+    rows = [
+        [m, f"{c.spearman:+.3f}", f"{c.pearson:+.3f}",
+         f"{report.excluding_offenders[m].spearman:+.3f}"]
+        for m, c in report.all_jobs.items()
+    ]
+    print()
+    print(render_table(
+        ["metric", "spearman", "pearson", "spearman excl. top-10"], rows
+    ))
+    write_rows_csv(out / "figs16_19.csv",
+                   ["metric", "spearman", "pearson", "spearman_excl"], rows)
+
+    fig20 = study.fig20()
+    print(f"\nFig. 20 user-level Spearman: {fig20.all_users.spearman:+.2f} "
+          f"(paper 0.80)")
+    write_rows_csv(
+        out / "fig20_users.csv",
+        ["core_hours", "sbe"],
+        list(zip(fig20.all_users.core_hours_by_user.tolist(),
+                 fig20.all_users.sbe_by_user.tolist())),
+    )
+
+    chars = study.fig21()
+    print(f"\nFig. 21 / Observation 14 holds: {chars.observation_14_holds()}")
+
+    from repro.core.export import write_summary_json
+
+    write_summary_json(study, out / "summary.json")
+    print(f"\nAll figure data written to {out}/ (incl. summary.json)")
+
+
+if __name__ == "__main__":
+    main()

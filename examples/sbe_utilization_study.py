@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""SBE vs resource-utilization study (the Section 4 analysis).
+
+Uses the per-batch-job nvidia-smi snapshot framework to correlate SBE
+counts with job resource metrics, with and without excluding jobs that
+touched the top-10 offender nodes — reproducing Figs. 16–20 and
+Observations 11–13.
+
+Usage::
+
+    python examples/sbe_utilization_study.py [--full] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import TitanStudy
+from repro.core.correlation import sorted_curves
+from repro.core.report import render_bar, render_table
+from repro.sim import Scenario, TitanSimulation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--seed", type=int, default=20131001)
+    args = parser.parse_args()
+
+    scenario = (
+        Scenario.paper(seed=args.seed)
+        if args.full
+        else Scenario.smoke(seed=args.seed, days=90.0)
+    )
+    dataset = TitanSimulation(scenario).run()
+    study = TitanStudy(dataset)
+
+    records = dataset.jobsnap_records
+    print(f"Per-job snapshot records: {len(records):,} "
+          f"(framework live since t={dataset.scenario.jobsnap_deployed_at:.0f}s)")
+    with_sbe = sum(1 for r in records if r.sbe_delta > 0)
+    print(f"Jobs with at least one SBE: {with_sbe} "
+          f"({with_sbe / max(len(records), 1):.1%})\n")
+
+    report = study.figs16_19()
+    paper = {
+        "max_memory_gb": "< 0.50",
+        "total_memory": "< 0.50",
+        "n_nodes": "0.57",
+        "gpu_core_hours": "0.70",
+    }
+    rows = []
+    for metric, corr in report.all_jobs.items():
+        excl = report.excluding_offenders[metric]
+        rows.append([
+            metric,
+            f"{corr.spearman:+.2f}",
+            f"{corr.pearson:+.2f}",
+            f"{excl.spearman:+.2f}",
+            paper[metric],
+        ])
+    print(render_table(
+        ["metric", "Spearman", "Pearson", "Spearman (excl. top-10)", "paper"],
+        rows,
+    ))
+
+    fig20 = study.fig20()
+    print(f"\nUser-level (Fig. 20): Spearman {fig20.all_users.spearman:+.2f} "
+          f"over {fig20.all_users.n_users} users (paper: 0.80) — "
+          f"userID beats every job-level metric")
+
+    # A compact look at the Fig. 19 sorted-curve presentation.
+    from repro.telemetry.jobsnap import JobSnapshotFramework
+
+    arrays = JobSnapshotFramework.to_arrays(records)
+    metric_curve, sbe_curve = sorted_curves(
+        arrays["gpu_core_hours"], arrays["sbe"]
+    )
+    print("\nFig. 19 shape — mean normalized SBE by core-hour decile:")
+    deciles = np.array_split(sbe_curve, 10)
+    peak = max(d.mean() for d in deciles)
+    for i, d in enumerate(deciles):
+        print(f"  decile {i}: {d.mean():5.2f} {render_bar(d.mean(), peak, 30)}")
+    print("  (monotone-ish rise = rank correlation without linearity,")
+    print("   which is why Spearman sees what Pearson misses)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of the Titan GPU reliability study (SC'15).
+
+Two layers:
+
+* a calibrated **simulation substrate** for the Titan supercomputer —
+  topology (:mod:`repro.topology`), K20X GPUs (:mod:`repro.gpu`), error
+  taxonomy (:mod:`repro.errors`), fault injection (:mod:`repro.faults`),
+  batch workload (:mod:`repro.workload`), telemetry
+  (:mod:`repro.telemetry`) and orchestration (:mod:`repro.sim`);
+* the paper's **log-analysis toolkit** (:mod:`repro.core`), which
+  consumes only observable artifacts (console-log text, nvidia-smi
+  tables, job-snapshot records) and regenerates every table, figure and
+  observation.
+
+Entry points::
+
+    from repro.sim import Scenario, TitanSimulation
+    from repro.core import TitanStudy
+
+    dataset = TitanSimulation(Scenario.paper()).run()
+    study = TitanStudy(dataset)
+    study.fig2()   # ... through fig21()
+"""
+
+from repro.rng import DEFAULT_SEED, RngTree
+
+__version__ = "1.0.0"
+
+__all__ = ["DEFAULT_SEED", "RngTree", "__version__"]

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``      run a scenario, write the console log (and optionally
+                  the nvidia-smi fleet table) to disk
+``figures``       regenerate the paper's tables/figures from a scenario
+``observations``  check every Observation 1–14 and print a scorecard
+``fleet-health``  the operator triage summary
+
+The CLI is a thin veneer over the library; each command maps onto the
+public API one-to-one so scripts can graduate to imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _scenario(args) -> "Scenario":
+    from repro.sim import Scenario
+
+    if getattr(args, "full", False):
+        return Scenario.paper(seed=args.seed)
+    return Scenario.smoke(seed=args.seed, days=args.days)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=20131001)
+    p.add_argument("--full", action="store_true",
+                   help="run the full 21-month paper scenario")
+    p.add_argument("--days", type=float, default=60.0,
+                   help="window length for the default quick scenario")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Titan GPU reliability study — simulate and analyze",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run a scenario, dump artifacts")
+    _add_common(p_sim)
+    p_sim.add_argument("--log-out", type=Path, default=Path("console.log"))
+    p_sim.add_argument("--nvsmi-out", type=Path, default=None,
+                       help="also write the fleet nvidia-smi table (CSV)")
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    _add_common(p_fig)
+    p_fig.add_argument("--outdir", type=Path, default=None,
+                       help="write figure CSVs here as well")
+
+    p_obs = sub.add_parser("observations", help="Observation 1-14 scorecard")
+    _add_common(p_obs)
+
+    p_health = sub.add_parser("fleet-health", help="operator triage summary")
+    _add_common(p_health)
+    p_health.add_argument("--top", type=int, default=10)
+
+    p_cal = sub.add_parser(
+        "calibration", help="validate measured statistics against RateConfig"
+    )
+    _add_common(p_cal)
+    return parser
+
+
+def cmd_simulate(args) -> int:
+    from repro.sim import TitanSimulation
+
+    dataset = TitanSimulation(_scenario(args)).run()
+    args.log_out.write_text(dataset.console_text)
+    print(f"wrote {args.log_out} "
+          f"({dataset.console_text.count(chr(10)):,} lines)")
+    if args.nvsmi_out is not None:
+        from repro.viz.csvout import write_rows_csv
+
+        table = dataset.nvsmi_table
+        rows = [
+            [slot, int(table["sbe_total"][slot]), int(table["dbe_total"][slot]),
+             int(table["retired_pages"][slot]),
+             f"{table['temperature_c'][slot]:.1f}"]
+            for slot in range(dataset.machine.n_gpus)
+        ]
+        write_rows_csv(
+            args.nvsmi_out,
+            ["slot", "sbe", "dbe", "retired_pages", "temp_c"],
+            rows,
+        )
+        print(f"wrote {args.nvsmi_out}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.core import TitanStudy
+    from repro.core.report import render_monthly_series, render_table
+    from repro.sim import TitanSimulation
+    from repro.units import month_labels
+
+    dataset = TitanSimulation(_scenario(args)).run()
+    study = TitanStudy(dataset)
+    labels = month_labels()
+    print(render_table(["GPU Error", "XID"], study.table1()))
+    fig2 = study.fig2()
+    print()
+    print(render_monthly_series(labels, fig2.counts, "Fig. 2 - DBEs/month"))
+    if fig2.mtbf_hours is not None:
+        print(f"MTBF {fig2.mtbf_hours:.1f} h")
+    fig12 = study.fig12()
+    print(f"Fig. 12: {fig12.n_unfiltered:,} raw XID 13 -> "
+          f"{fig12.n_filtered} filtered")
+    report = study.figs16_19()
+    print(render_table(
+        ["metric", "spearman", "pearson"],
+        [[m, f"{c.spearman:+.2f}", f"{c.pearson:+.2f}"]
+         for m, c in report.all_jobs.items()],
+    ))
+    if args.outdir is not None:
+        from repro.viz.csvout import write_series_csv
+
+        args.outdir.mkdir(parents=True, exist_ok=True)
+        write_series_csv(args.outdir / "fig02.csv", labels, fig2.counts)
+        print(f"CSV data in {args.outdir}")
+    return 0
+
+
+def cmd_observations(args) -> int:
+    """Score the observation suite; non-zero exit if any claim fails."""
+    from repro.core import TitanStudy
+    from repro.sim import TitanSimulation
+
+    dataset = TitanSimulation(_scenario(args)).run()
+    study = TitanStudy(dataset)
+    checks: list[tuple[str, bool]] = []
+
+    fig2 = study.fig2()
+    checks.append((
+        "Obs 1: DBE stream not bursty",
+        fig2.burstiness is not None and not fig2.burstiness.is_bursty,
+    ))
+    console, nvsmi = study.nvsmi_vs_console_dbe()
+    checks.append(("Obs 2: nvidia-smi undercounts DBEs", nvsmi <= console))
+    fractions = study.fig3().structure_fractions
+    checks.append((
+        "Obs 3: device memory dominates DBEs",
+        fractions.get("device_memory", 0.0) > 0.5,
+    ))
+    fig5 = study.fig5()
+    checks.append((
+        "Obs 4: OTB prefers upper cages",
+        fig5.cage_events.sum() == 0 or fig5.cage_events[2] >= fig5.cage_events[0],
+    ))
+    fig10 = study.fig10()
+    checks.append((
+        "Obs 6: XID 13 bursty",
+        fig10.burstiness is not None and fig10.burstiness.is_bursty,
+    ))
+    fig12 = study.fig12()
+    checks.append((
+        "Obs 7: 5 s filter collapses job echoes",
+        fig12.n_filtered < fig12.n_unfiltered / 10,
+    ))
+    fig14 = study.fig14()
+    checks.append((
+        "Obs 10: <5 % of cards see SBEs",
+        fig14.fleet_fraction_with_sbe < 0.05,
+    ))
+    checks.append((
+        "Obs 10: exclusion reduces skew",
+        fig14.skewness["all"] >= fig14.skewness["minus_top50"],
+    ))
+    try:
+        report = study.figs16_19()
+        checks.append((
+            "Obs 11: memory correlation weak",
+            abs(report.all_jobs["max_memory_gb"].spearman) < 0.5,
+        ))
+        checks.append((
+            "Obs 12: core-hours correlate",
+            report.all_jobs["gpu_core_hours"].spearman > 0.3,
+        ))
+        fig20 = study.fig20()
+        checks.append((
+            "Obs 13: user level beats job level",
+            fig20.all_users.spearman
+            >= report.all_jobs["gpu_core_hours"].spearman,
+        ))
+    except (ValueError, KeyError):
+        checks.append(("Obs 11-13: snapshot window too small", False))
+    checks.append(("Obs 14: workload shape", study.fig21().observation_14_holds()))
+
+    width = max(len(name) for name, _ in checks)
+    failed = 0
+    for name, ok in checks:
+        print(f"  {name:<{width}}  {'PASS' if ok else 'FAIL'}")
+        failed += 0 if ok else 1
+    print(f"\n{len(checks) - failed}/{len(checks)} observation checks pass")
+    return 1 if failed else 0
+
+
+def cmd_fleet_health(args) -> int:
+    from repro.core.offenders import offender_slots
+    from repro.core.report import render_table
+    from repro.sim import TitanSimulation
+
+    dataset = TitanSimulation(_scenario(args)).run()
+    table = dataset.nvsmi_table
+    machine = dataset.machine
+    offenders = offender_slots(table["sbe_total"], args.top)
+    print(render_table(
+        ["node", "sbe", "dbe", "retired"],
+        [
+            [machine.cname(int(s)), int(table["sbe_total"][s]),
+             int(table["dbe_total"][s]), int(table["retired_pages"][s])]
+            for s in offenders
+        ],
+    ))
+    anomalies = dataset.nvsmi.inconsistent_cards()
+    print(f"ledger anomalies: {len(anomalies)}; "
+          f"cards with SBEs: {int(np.count_nonzero(table['sbe_total']))}")
+    return 0
+
+
+def cmd_calibration(args) -> int:
+    """Run the calibration self-check; non-zero exit on any failure."""
+    from repro.faults.validation import validate_calibration
+    from repro.sim import TitanSimulation
+
+    dataset = TitanSimulation(_scenario(args)).run()
+    checks = validate_calibration(dataset)
+    failed = 0
+    for check in checks:
+        print(f"  {check.render()}")
+        failed += 0 if check.ok else 1
+    print(f"\n{len(checks) - failed}/{len(checks)} calibration checks pass")
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "figures": cmd_figures,
+    "observations": cmd_observations,
+    "fleet-health": cmd_fleet_health,
+    "calibration": cmd_calibration,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

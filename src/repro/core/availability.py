@@ -1,0 +1,103 @@
+"""Fleet availability and repair-time analysis.
+
+Operations reviews track three numbers the RAS stream yields directly:
+
+* **availability** — the fraction of node-hours the fleet was up;
+* **MTTR per cause** — how long a DBE warm-boot vs an Off-the-bus
+  reseat actually keeps a node out of the pool;
+* the **monthly downtime series** — which months hurt (the solder era
+  shows up immediately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.xid import ErrorType, from_code
+from repro.telemetry.raslog import NodeStateLog
+from repro.units import HOUR, month_starts
+
+__all__ = ["AvailabilityReport", "availability_report"]
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Downtime accounting over one window."""
+
+    window_s: float
+    n_nodes: int
+    n_outages: int
+    total_downtime_node_hours: float
+    availability: float
+    mttr_hours_by_cause: dict[ErrorType, float]
+    monthly_downtime_node_hours: np.ndarray
+    worst_node: tuple[int, float] | None  # (gpu, downtime hours)
+
+    def mttr_hours(self) -> float:
+        """Overall mean time to repair."""
+        if self.n_outages == 0:
+            return 0.0
+        return self.total_downtime_node_hours / self.n_outages
+
+
+def availability_report(
+    log: NodeStateLog,
+    *,
+    window_s: float,
+    n_nodes: int,
+) -> AvailabilityReport:
+    """Summarize a node-state log over a window of ``window_s`` seconds.
+
+    Downtime spilling past the window end is clipped (the machine's
+    accounting period closes regardless of open repairs).
+    """
+    if window_s <= 0 or n_nodes <= 0:
+        raise ValueError("window and node count must be positive")
+    if len(log) == 0:
+        return AvailabilityReport(
+            window_s=window_s,
+            n_nodes=n_nodes,
+            n_outages=0,
+            total_downtime_node_hours=0.0,
+            availability=1.0,
+            mttr_hours_by_cause={},
+            monthly_downtime_node_hours=np.zeros(21),
+            worst_node=None,
+        )
+    up_clipped = np.minimum(log.up_at, window_s)
+    down_clipped = np.minimum(log.down_at, window_s)
+    durations_h = np.maximum(up_clipped - down_clipped, 0.0) / HOUR
+    total_h = float(durations_h.sum())
+    capacity_h = n_nodes * window_s / HOUR
+
+    mttr: dict[ErrorType, float] = {}
+    for code in np.unique(log.cause):
+        etype = from_code(int(code))
+        mask = log.cause == code
+        if mask.any():
+            mttr[etype] = float(durations_h[mask].mean())
+
+    # Monthly attribution: assign each outage's downtime to the month of
+    # its start (outages are short relative to months).
+    edges = month_starts()
+    monthly = np.zeros(edges.size - 1)
+    idx = np.searchsorted(edges, log.down_at, side="right") - 1
+    valid = (idx >= 0) & (idx < monthly.size)
+    np.add.at(monthly, idx[valid], durations_h[valid])
+
+    per_node = np.zeros(n_nodes)
+    np.add.at(per_node, log.gpu, durations_h)
+    worst = int(np.argmax(per_node))
+
+    return AvailabilityReport(
+        window_s=window_s,
+        n_nodes=n_nodes,
+        n_outages=len(log),
+        total_downtime_node_hours=total_h,
+        availability=1.0 - total_h / capacity_h,
+        mttr_hours_by_cause=mttr,
+        monthly_downtime_node_hours=monthly,
+        worst_node=(worst, float(per_node[worst])) if total_h > 0 else None,
+    )

@@ -1,0 +1,160 @@
+"""SBE vs GPU-resource-utilization correlation (Figs. 16–20, Obs. 11–13).
+
+Inputs are the columnar job-snapshot arrays (one row per covered batch
+job: node count, GPU core-hours, max/total memory, SBE delta).  For
+each resource metric the analysis produces
+
+* the paper's **sorted normalized curves** (jobs sorted by the metric,
+  both series divided by their means — Figs. 16–19's presentation);
+* Spearman and Pearson coefficients with permutation p-values;
+* the same after **excluding jobs that used any top-k offender node**;
+
+plus the Fig. 20 **user-level** view: per-user total core-hours vs
+per-user total SBEs, where aggregation lifts the Spearman coefficient
+to ≈0.8 ("userID may be a better indicator for SBE correlation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stats import (
+    normalized_to_mean,
+    pearson,
+    permutation_pvalue,
+    spearman,
+)
+
+__all__ = [
+    "MetricCorrelation",
+    "CorrelationReport",
+    "sbe_resource_correlations",
+    "sorted_curves",
+    "user_level_correlation",
+    "UserCorrelation",
+]
+
+#: The four job-level resource metrics of Figs. 16–19 (column → figure).
+RESOURCE_METRICS: tuple[tuple[str, str], ...] = (
+    ("max_memory_gb", "fig16_max_memory"),
+    ("total_memory", "fig17_total_memory"),
+    ("n_nodes", "fig18_nodes"),
+    ("gpu_core_hours", "fig19_core_hours"),
+)
+
+
+@dataclass(frozen=True)
+class MetricCorrelation:
+    """Correlation of one resource metric with SBE counts."""
+
+    metric: str
+    n_jobs: int
+    spearman: float
+    pearson: float
+    p_value: float | None = None
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """All-jobs and offender-excluded correlations for every metric."""
+
+    all_jobs: dict[str, MetricCorrelation] = field(default_factory=dict)
+    excluding_offenders: dict[str, MetricCorrelation] = field(default_factory=dict)
+    offender_k: int = 10
+
+
+def sorted_curves(
+    metric_values: np.ndarray, sbe: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Figs. 16–19 presentation: sort jobs by the metric and return
+    (normalized metric curve, normalized SBE curve).
+
+    SBE normalization degrades gracefully when no SBEs were observed.
+    """
+    order = np.argsort(np.asarray(metric_values), kind="stable")
+    m = normalized_to_mean(np.asarray(metric_values, dtype=np.float64)[order])
+    s = np.asarray(sbe, dtype=np.float64)[order]
+    s = normalized_to_mean(s) if s.sum() > 0 else s
+    return m, s
+
+
+def _one_metric(
+    name: str,
+    values: np.ndarray,
+    sbe: np.ndarray,
+    rng: np.random.Generator | None,
+) -> MetricCorrelation:
+    p = None
+    if rng is not None:
+        p = permutation_pvalue(values, sbe, rng)
+    return MetricCorrelation(
+        metric=name,
+        n_jobs=int(values.size),
+        spearman=spearman(values, sbe),
+        pearson=pearson(values, sbe),
+        p_value=p,
+    )
+
+
+def sbe_resource_correlations(
+    snapshot_arrays: dict[str, np.ndarray],
+    *,
+    excluded_arrays: dict[str, np.ndarray] | None = None,
+    offender_k: int = 10,
+    rng: np.random.Generator | None = None,
+) -> CorrelationReport:
+    """Compute the Figs. 16–19 correlation table.
+
+    ``snapshot_arrays`` is the output of
+    :meth:`JobSnapshotFramework.to_arrays`; ``excluded_arrays`` the same
+    after offender-job removal (see :mod:`repro.core.offenders`).
+    """
+    report = CorrelationReport(offender_k=offender_k)
+    sbe = snapshot_arrays["sbe"]
+    for column, _figure in RESOURCE_METRICS:
+        report.all_jobs[column] = _one_metric(
+            column, snapshot_arrays[column], sbe, rng
+        )
+    if excluded_arrays is not None:
+        sbe_ex = excluded_arrays["sbe"]
+        for column, _figure in RESOURCE_METRICS:
+            report.excluding_offenders[column] = _one_metric(
+                column, excluded_arrays[column], sbe_ex, rng
+            )
+    return report
+
+
+@dataclass(frozen=True)
+class UserCorrelation:
+    """Fig. 20: per-user aggregation."""
+
+    n_users: int
+    spearman: float
+    pearson: float
+    core_hours_by_user: np.ndarray
+    sbe_by_user: np.ndarray
+
+
+def user_level_correlation(
+    snapshot_arrays: dict[str, np.ndarray]
+) -> UserCorrelation:
+    """Aggregate snapshots per user and correlate total core-hours with
+    total SBEs (users with no covered jobs are absent, as in the paper,
+    which could only see users who ran during the collection window)."""
+    users = snapshot_arrays["user"]
+    if users.size == 0:
+        raise ValueError("no snapshot records")
+    unique, inverse = np.unique(users, return_inverse=True)
+    hours = np.zeros(unique.size)
+    sbe = np.zeros(unique.size)
+    np.add.at(hours, inverse, snapshot_arrays["gpu_core_hours"])
+    np.add.at(sbe, inverse, snapshot_arrays["sbe"].astype(np.float64))
+    return UserCorrelation(
+        n_users=int(unique.size),
+        spearman=spearman(hours, sbe),
+        pearson=pearson(hours, sbe),
+        core_hours_by_user=hours,
+        sbe_by_user=sbe,
+    )

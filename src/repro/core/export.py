@@ -1,0 +1,129 @@
+"""Structured export of study results (JSON-ready dictionaries).
+
+Dashboards, notebooks and regression archives want the study's numbers
+as plain data, not printed tables.  :func:`study_summary` reduces a
+:class:`~repro.core.study.TitanStudy` to one nested dict of built-in
+types (every leaf is ``int | float | str | bool | list``), and
+:func:`write_summary_json` serializes it.
+
+The dict layout is stable (a versioned ``format`` key) so archived
+summaries from different code revisions remain comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["study_summary", "write_summary_json", "SUMMARY_FORMAT"]
+
+SUMMARY_FORMAT = "titan-study-summary/1"
+
+
+def _listify(array: np.ndarray) -> list:
+    return np.asarray(array).tolist()
+
+
+def study_summary(study: "TitanStudy") -> dict[str, Any]:
+    """All headline numbers of one study as a JSON-ready dict."""
+    from repro.core.study import TitanStudy  # noqa: F401 (typing only)
+
+    fig2 = study.fig2()
+    fig3 = study.fig3()
+    fig4 = study.fig4()
+    fig6 = study.fig6()
+    fig8 = study.fig8()
+    fig10 = study.fig10()
+    fig12 = study.fig12()
+    fig14 = study.fig14()
+    fig15 = study.fig15()
+    console_dbe, nvsmi_dbe = study.nvsmi_vs_console_dbe()
+
+    summary: dict[str, Any] = {
+        "format": SUMMARY_FORMAT,
+        "scenario": {
+            "name": study.ds.scenario.name,
+            "seed": study.ds.scenario.seed,
+            "start": study.ds.scenario.start,
+            "end": study.ds.scenario.end,
+        },
+        "dbe": {
+            "total": fig2.total,
+            "mtbf_hours": fig2.mtbf_hours,
+            "monthly": _listify(fig2.counts),
+            "bursty": bool(fig2.burstiness.is_bursty)
+            if fig2.burstiness
+            else None,
+            "structure_fractions": fig3.structure_fractions,
+            "cage_events": _listify(fig3.cage_events),
+            "unique_cards": study.dbe_unique_cards(),
+            "console_vs_nvsmi": [console_dbe, nvsmi_dbe],
+        },
+        "off_the_bus": {
+            "total": fig4.total,
+            "monthly": _listify(fig4.counts),
+        },
+        "retirement": {
+            "total": fig6.total,
+            "monthly": _listify(fig6.counts),
+            "within_10min": fig8.n_within_10min,
+            "mid_window": fig8.n_10min_to_6h,
+            "beyond_6h": fig8.n_beyond_6h,
+            "dbe_pairs_without": fig8.n_dbe_pairs_without_retirement,
+        },
+        "xid13": {
+            "filtered_total": fig10.total,
+            "bursty": bool(fig10.burstiness.is_bursty)
+            if fig10.burstiness
+            else None,
+            "raw_events": fig12.n_unfiltered,
+            "alternation_raw": fig12.alternation_unfiltered,
+            "alternation_filtered": fig12.alternation_filtered,
+        },
+        "sbe": {
+            "cards_affected": fig14.n_cards_with_sbe,
+            "fleet_fraction": fig14.fleet_fraction_with_sbe,
+            "skewness": fig14.skewness,
+            "cage_events_all": _listify(fig15.cage_events["all"]),
+            "cage_distinct_all": _listify(fig15.cage_distinct["all"]),
+        },
+    }
+    try:
+        report = study.figs16_19()
+        summary["correlations"] = {
+            metric: {
+                "spearman": corr.spearman,
+                "pearson": corr.pearson,
+                "spearman_excl_top10": report.excluding_offenders[
+                    metric
+                ].spearman,
+            }
+            for metric, corr in report.all_jobs.items()
+        }
+        fig20 = study.fig20()
+        summary["correlations"]["per_user"] = {
+            "spearman": fig20.all_users.spearman,
+            "n_users": fig20.all_users.n_users,
+        }
+    except (ValueError, KeyError):
+        summary["correlations"] = None  # window too small for snapshots
+    chars = study.fig21()
+    summary["workload"] = {
+        "n_jobs": chars.n_jobs,
+        "observation_14": bool(chars.observation_14_holds()),
+        "top_memory_core_hour_ratio": chars.top_memory_jobs_core_hour_ratio,
+        "nodes_vs_core_hours_spearman": chars.nodes_vs_core_hours_spearman,
+    }
+    return summary
+
+
+def write_summary_json(study: "TitanStudy", path: str | Path) -> Path:
+    """Serialize :func:`study_summary` (pretty-printed, sorted keys)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(study_summary(study), indent=2, sort_keys=True) + "\n"
+    )
+    return path

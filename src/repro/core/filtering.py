@@ -1,0 +1,139 @@
+"""Event filtering: separating parent events from their children.
+
+Section 2.2: "there may be one real 'parent' event and multiple 'child'
+events. One can exclude these 'child' error events by applying a
+filtering to avoid bias in failure characterization."  The toolkit
+offers the filters the paper applies:
+
+* :func:`sequential_dedup` — the Fig. 12 time-threshold filter: walk a
+  (same-type) event stream in time order; any event closer than the
+  threshold to the **last kept** event is dropped as a child.  With a
+  5-second window this "effectively counts only one XID 13 event per
+  job because the job would crash after the error".
+* :func:`dedup_by_card` — count at most one event per GPU card
+  ("counting only one DBE error per card", Fig. 3(b)).
+* :func:`split_parents_children` — both halves at once, for analyses
+  that also need the children (Fig. 12 bottom panel).
+
+Filters operate on the *parsed* console log, which carries no parent
+annotations — exactly the authors' situation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.event import EventLog
+
+__all__ = [
+    "FilterResult",
+    "sequential_dedup",
+    "split_parents_children",
+    "dedup_by_card",
+    "first_of_each_card",
+]
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of a parent/child split."""
+
+    kept: EventLog  # estimated parent events
+    dropped: EventLog  # estimated child events
+    kept_mask: np.ndarray  # over the input log
+
+    @property
+    def n_kept(self) -> int:
+        return len(self.kept)
+
+    @property
+    def n_dropped(self) -> int:
+        return len(self.dropped)
+
+
+def _require_sorted(log: EventLog) -> None:
+    if not log.is_sorted():
+        raise ValueError("filtering requires a time-sorted log; "
+                         "call log.sorted_by_time() first")
+
+
+def sequential_dedup(
+    log: EventLog,
+    window_s: float,
+    *,
+    per_job: bool = False,
+) -> FilterResult:
+    """Time-threshold child filter over a (typically single-type) log.
+
+    Keeps an event iff it is at least ``window_s`` seconds after the
+    previously *kept* event; with ``per_job=True`` the threshold applies
+    per job id instead of globally (events without a job tag are then
+    always kept).
+
+    A zero window keeps everything.
+    """
+    _require_sorted(log)
+    if window_s < 0:
+        raise ValueError("window must be non-negative")
+    n = len(log)
+    keep = np.ones(n, dtype=bool)
+    if window_s > 0 and n:
+        if per_job:
+            last_kept: dict[int, float] = {}
+            for i in range(n):
+                job = int(log.job[i])
+                if job < 0:
+                    continue
+                t = float(log.time[i])
+                prev = last_kept.get(job)
+                if prev is not None and t - prev < window_s:
+                    keep[i] = False
+                else:
+                    last_kept[job] = t
+        else:
+            last = -np.inf
+            times = log.time
+            for i in range(n):
+                if times[i] - last < window_s:
+                    keep[i] = False
+                else:
+                    last = times[i]
+    return FilterResult(
+        kept=log.select_with_parent_remap(keep),
+        dropped=log.select_with_parent_remap(~keep),
+        kept_mask=keep,
+    )
+
+
+def split_parents_children(
+    log: EventLog, window_s: float, **kwargs
+) -> tuple[EventLog, EventLog]:
+    """Convenience: (parents, children) halves of a sequential dedup."""
+    result = sequential_dedup(log, window_s, **kwargs)
+    return result.kept, result.dropped
+
+
+def dedup_by_card(log: EventLog) -> FilterResult:
+    """Keep only the first event per GPU (card) — Fig. 3(b)'s
+    "distinct GPU cards" counting."""
+    _require_sorted(log)
+    n = len(log)
+    keep = np.zeros(n, dtype=bool)
+    seen: set[int] = set()
+    for i in range(n):
+        gpu = int(log.gpu[i])
+        if gpu not in seen:
+            seen.add(gpu)
+            keep[i] = True
+    return FilterResult(
+        kept=log.select_with_parent_remap(keep),
+        dropped=log.select_with_parent_remap(~keep),
+        kept_mask=keep,
+    )
+
+
+def first_of_each_card(log: EventLog) -> EventLog:
+    """Shorthand for ``dedup_by_card(log).kept``."""
+    return dedup_by_card(log).kept

@@ -1,0 +1,141 @@
+"""Application-impact accounting: what each error class costs users.
+
+The paper's title promises "their impact on system operations and
+applications", and Section 1 frames it through checkpointing: a crash
+costs the work since the last checkpoint plus a restart.  This module
+joins crash events to the jobs they killed and prices each error class
+in **node-hours**, under an explicit checkpoint discipline:
+
+    lost(event) = n_nodes × min(t − job_start, checkpoint_interval)
+                + n_nodes × restart_overhead
+
+Only *parent* events count (an echoed XID 13 is one interruption, not
+900), only crash-semantic types count (SBEs and retirements are free),
+and repeated crashes of one job each pay — a job rescheduled after a
+crash can crash again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filtering import sequential_dedup
+from repro.errors.event import EventLog
+from repro.errors.xid import ErrorType, from_code
+from repro.units import HOUR
+from repro.workload.jobs import JobTrace
+
+__all__ = ["ImpactReport", "ClassImpact", "application_impact"]
+
+
+@dataclass(frozen=True)
+class ClassImpact:
+    """Cost of one error class."""
+
+    etype: ErrorType
+    n_interruptions: int
+    interrupted_node_hours: float  # capacity held by the killed jobs
+    lost_node_hours: float  # rolled-back work + restart overhead
+
+    @property
+    def mean_loss_per_interruption(self) -> float:
+        if self.n_interruptions == 0:
+            return 0.0
+        return self.lost_node_hours / self.n_interruptions
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Fleet-level application-impact summary."""
+
+    per_class: dict[ErrorType, ClassImpact]
+    n_jobs: int
+    n_interrupted_jobs: int
+    total_lost_node_hours: float
+    delivered_node_hours: float
+    checkpoint_interval_h: float
+
+    @property
+    def interruption_rate(self) -> float:
+        """Fraction of jobs killed at least once by a GPU error."""
+        return self.n_interrupted_jobs / self.n_jobs if self.n_jobs else 0.0
+
+    @property
+    def lost_fraction(self) -> float:
+        """Lost node-hours relative to delivered node-hours."""
+        if self.delivered_node_hours == 0:
+            return 0.0
+        return self.total_lost_node_hours / self.delivered_node_hours
+
+    def ranked_classes(self) -> list[ClassImpact]:
+        """Classes by total lost node-hours, heaviest first."""
+        return sorted(
+            self.per_class.values(), key=lambda c: -c.lost_node_hours
+        )
+
+
+def application_impact(
+    log: EventLog,
+    trace: JobTrace,
+    *,
+    checkpoint_interval_h: float = 1.0,
+    restart_overhead_h: float = 0.1,
+    dedup_window_s: float = 5.0,
+) -> ImpactReport:
+    """Price every crash-class error in node-hours.
+
+    Parameters
+    ----------
+    log:
+        Parsed console log (time-sorted or not).
+    trace:
+        The job accounting the events' ``job`` tags refer to.
+    checkpoint_interval_h / restart_overhead_h:
+        The assumed checkpoint discipline; the loss cap and the fixed
+        restart tax.
+    """
+    if checkpoint_interval_h <= 0 or restart_overhead_h < 0:
+        raise ValueError("invalid checkpoint discipline")
+    if not log.is_sorted():
+        log = log.sorted_by_time()
+
+    per_class: dict[ErrorType, ClassImpact] = {}
+    interrupted_jobs: set[int] = set()
+    total_lost = 0.0
+    for code in np.unique(log.etype):
+        etype = from_code(int(code))
+        if not etype.crashes:
+            continue
+        stream = log.of_type(etype)
+        parents = sequential_dedup(stream, dedup_window_s).kept
+        tagged = parents.select(parents.job >= 0)
+        if len(tagged) == 0:
+            per_class[etype] = ClassImpact(etype, 0, 0.0, 0.0)
+            continue
+        jobs = tagged.job
+        nodes = trace.n_nodes[jobs].astype(np.float64)
+        progress_h = (tagged.time - trace.start[jobs]) / HOUR
+        progress_h = np.clip(progress_h, 0.0, None)
+        lost = nodes * (
+            np.minimum(progress_h, checkpoint_interval_h) + restart_overhead_h
+        )
+        interrupted = nodes * trace.walltime_h[jobs]
+        per_class[etype] = ClassImpact(
+            etype=etype,
+            n_interruptions=int(len(tagged)),
+            interrupted_node_hours=float(interrupted.sum()),
+            lost_node_hours=float(lost.sum()),
+        )
+        total_lost += float(lost.sum())
+        interrupted_jobs.update(int(j) for j in jobs)
+
+    return ImpactReport(
+        per_class=per_class,
+        n_jobs=len(trace),
+        n_interrupted_jobs=len(interrupted_jobs),
+        total_lost_node_hours=total_lost,
+        delivered_node_hours=float(trace.node_hours.sum()),
+        checkpoint_interval_h=checkpoint_interval_h,
+    )

@@ -1,0 +1,81 @@
+"""Top-offender identification and exclusion (Figs. 14–20).
+
+A small set of cards dominates the fleet's SBE counts.  The paper's
+robustness procedure is to re-run each analysis after removing the
+top-10 (and top-50) offenders — both as *cards* (spatial analyses) and
+as *jobs that touched an offender node* (correlation analyses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.jobs import JobTrace
+
+__all__ = [
+    "offender_slots",
+    "exclude_slots",
+    "jobs_using_slots",
+    "exclude_jobs_using",
+]
+
+
+def offender_slots(sbe_by_slot: np.ndarray, k: int) -> np.ndarray:
+    """Slots of the ``k`` highest SBE counts (ties broken by slot id,
+    descending count first). k=0 returns an empty array."""
+    sbe = np.asarray(sbe_by_slot)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((np.arange(sbe.size), -sbe))
+    return order[:k].astype(np.int64)
+
+
+def exclude_slots(per_slot: np.ndarray, slots: np.ndarray) -> np.ndarray:
+    """Copy of a per-slot array with the given slots zeroed."""
+    out = np.asarray(per_slot).copy()
+    out[np.asarray(slots, dtype=np.int64)] = 0
+    return out
+
+
+def jobs_using_slots(
+    trace: JobTrace,
+    slots: np.ndarray,
+    allocation_rank: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask over jobs: True if the job's allocation includes any
+    of the given GPU slots."""
+    slots = np.asarray(slots, dtype=np.int64)
+    mask = np.zeros(len(trace), dtype=bool)
+    if slots.size == 0:
+        return mask
+    ranks = np.sort(np.asarray(allocation_rank)[slots])
+    job_of_run = np.repeat(np.arange(len(trace)), np.diff(trace.run_offsets))
+    # A run [s, s+l) contains an offender rank iff some offender rank
+    # falls inside it: searchsorted bounds differ.
+    lo = np.searchsorted(ranks, trace.run_start, side="left")
+    hi = np.searchsorted(ranks, trace.run_start + trace.run_length, side="left")
+    hit_runs = hi > lo
+    mask_per_job = np.zeros(len(trace), dtype=bool)
+    np.logical_or.at(mask_per_job, job_of_run, hit_runs)
+    mask |= mask_per_job
+    return mask
+
+
+def exclude_jobs_using(
+    values_by_job: dict[str, np.ndarray],
+    trace: JobTrace,
+    slots: np.ndarray,
+    allocation_rank: np.ndarray,
+    job_ids: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Filter columnar per-job arrays down to jobs *not* touching the
+    given slots.
+
+    ``job_ids`` maps the rows of ``values_by_job`` to trace indices
+    (snapshot records cover only part of the trace).
+    """
+    touched = jobs_using_slots(trace, slots, allocation_rank)
+    keep = ~touched[np.asarray(job_ids, dtype=np.int64)]
+    return {name: np.asarray(col)[keep] for name, col in values_by_job.items()}

@@ -1,0 +1,162 @@
+"""Monthly operations report: the artifact the study's pipeline feeds.
+
+The paper's purpose statement — "helpful in improving the operational
+efficiency of other HPC centers" — implies a consumer: the monthly
+reliability review an operations team actually holds.  This module
+assembles one from observable data only:
+
+* per-error-class incident counts for the month (5-second-filtered
+  parents, so a 900-node echo is one incident), with the delta against
+  the previous month;
+* hardware incidents itemized per node (DBE / OTB / retirement);
+* the month's most error-active cabinets;
+* standing watchlist: SBE offenders and DBE repeat cards.
+
+The renderer produces the plain-text report; tests pin its arithmetic
+to the underlying log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filtering import sequential_dedup
+from repro.core.report import render_table
+from repro.core.spatial import cabinet_grid_from_events
+from repro.errors.event import EventLog
+from repro.errors.xid import ErrorType, from_code
+from repro.topology.machine import TitanMachine
+from repro.units import month_bounds, month_label
+
+__all__ = ["MonthlyOpsReport", "build_monthly_report"]
+
+#: Hardware classes itemized per node in the report.
+_HARDWARE_ITEMIZED = (
+    ErrorType.DBE,
+    ErrorType.OFF_THE_BUS,
+    ErrorType.ECC_PAGE_RETIREMENT,
+)
+
+
+@dataclass(frozen=True)
+class MonthlyOpsReport:
+    """One month's reliability summary."""
+
+    month_index: int
+    month: str
+    incident_counts: dict[ErrorType, int]
+    previous_counts: dict[ErrorType, int]
+    hardware_incidents: list[tuple[str, ErrorType, float]]  # (cname, type, t)
+    top_cabinets: list[tuple[int, int, int]]  # (row, col, events)
+    sbe_watchlist: list[tuple[str, int]]  # (cname, lifetime SBEs)
+
+    def delta(self, etype: ErrorType) -> int:
+        return self.incident_counts.get(etype, 0) - self.previous_counts.get(
+            etype, 0
+        )
+
+    def total_incidents(self) -> int:
+        return sum(self.incident_counts.values())
+
+    def render(self) -> str:
+        lines = [f"=== Titan GPU reliability report — {self.month} ==="]
+        rows = []
+        for etype, count in sorted(
+            self.incident_counts.items(), key=lambda kv: -kv[1]
+        ):
+            delta = self.delta(etype)
+            rows.append([
+                etype.xid if etype.xid is not None else "-",
+                etype.label[:44],
+                count,
+                f"{delta:+d}",
+            ])
+        lines.append(render_table(["XID", "class", "incidents", "vs prev"], rows))
+        if self.hardware_incidents:
+            lines.append("")
+            lines.append("Hardware incidents:")
+            for cname, etype, _t in self.hardware_incidents:
+                lines.append(f"  {cname:<14} {etype.label}")
+        if self.top_cabinets:
+            lines.append("")
+            lines.append("Most error-active cabinets: " + ", ".join(
+                f"c{col}-{row} ({n})" for row, col, n in self.top_cabinets
+            ))
+        if self.sbe_watchlist:
+            lines.append("")
+            lines.append("SBE watchlist (lifetime counts): " + ", ".join(
+                f"{cname}={n}" for cname, n in self.sbe_watchlist
+            ))
+        return "\n".join(lines)
+
+
+def _incident_counts(
+    log: EventLog, start: float, end: float, dedup_s: float
+) -> dict[ErrorType, int]:
+    window = log.in_window(start, end)
+    counts: dict[ErrorType, int] = {}
+    for code in np.unique(window.etype):
+        etype = from_code(int(code))
+        stream = window.of_type(etype)
+        counts[etype] = sequential_dedup(stream, dedup_s).n_kept
+    return counts
+
+
+def build_monthly_report(
+    log: EventLog,
+    machine: TitanMachine,
+    month_index: int,
+    *,
+    sbe_totals: np.ndarray | None = None,
+    dedup_window_s: float = 5.0,
+    n_top_cabinets: int = 3,
+    n_watchlist: int = 5,
+) -> MonthlyOpsReport:
+    """Assemble the report for one study month from a parsed log."""
+    if not log.is_sorted():
+        log = log.sorted_by_time()
+    start, end = month_bounds(month_index)
+    counts = _incident_counts(log, start, end, dedup_window_s)
+    if month_index > 0:
+        prev_start, prev_end = month_bounds(month_index - 1)
+        previous = _incident_counts(log, prev_start, prev_end, dedup_window_s)
+    else:
+        previous = {}
+
+    window = log.in_window(start, end)
+    hardware = []
+    for etype in _HARDWARE_ITEMIZED:
+        stream = window.of_type(etype)
+        for i in range(len(stream)):
+            hardware.append(
+                (machine.cname(int(stream.gpu[i])), etype, float(stream.time[i]))
+            )
+    hardware.sort(key=lambda item: item[2])
+
+    grid = cabinet_grid_from_events(window, machine)
+    flat = np.argsort(grid.ravel())[::-1][:n_top_cabinets]
+    top_cabinets = [
+        (int(idx // 8), int(idx % 8), int(grid.ravel()[idx]))
+        for idx in flat
+        if grid.ravel()[idx] > 0
+    ]
+
+    watchlist = []
+    if sbe_totals is not None:
+        order = np.argsort(np.asarray(sbe_totals))[::-1][:n_watchlist]
+        watchlist = [
+            (machine.cname(int(slot)), int(sbe_totals[slot]))
+            for slot in order
+            if sbe_totals[slot] > 0
+        ]
+    return MonthlyOpsReport(
+        month_index=month_index,
+        month=month_label(month_index),
+        incident_counts=counts,
+        previous_counts=previous,
+        hardware_incidents=hardware,
+        top_cabinets=top_cabinets,
+        sbe_watchlist=watchlist,
+    )

@@ -1,0 +1,229 @@
+"""Reliability statistics: distribution fitting, survival, projection.
+
+The paper's findings feed "reliability modeling and simulation in
+future research studies" (Conclusion).  This module supplies the models
+such studies start from:
+
+* :func:`fit_weibull` — maximum-likelihood Weibull fit of inter-arrival
+  gaps (shape < 1 ⇒ temporal locality, the lazy-checkpointing premise);
+* :func:`exponentiality_test` — Lilliefors-style KS test of the
+  memoryless hypothesis with a parametric-bootstrap p-value;
+* :func:`kaplan_meier` — survival curve of card time-to-first-error
+  with right-censoring (most cards never fail inside the window);
+* :func:`project_fleet_mtbf` — the exascale question: what does a
+  per-card error rate measured on 18,688 GPUs imply for a fleet of
+  100,000?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WeibullFit",
+    "fit_weibull",
+    "exponentiality_test",
+    "KaplanMeierCurve",
+    "kaplan_meier",
+    "project_fleet_mtbf",
+]
+
+
+@dataclass(frozen=True)
+class WeibullFit:
+    """MLE Weibull parameters of a gap sample."""
+
+    scale: float  # θ
+    shape: float  # k
+    n: int
+    log_likelihood: float
+
+    @property
+    def mean(self) -> float:
+        """Distribution mean θ·Γ(1 + 1/k)."""
+        import math
+
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    @property
+    def clustered(self) -> bool:
+        """shape < 1: failures exhibit temporal locality."""
+        return self.shape < 1.0
+
+
+def _weibull_loglik(x: np.ndarray, scale: float, shape: float) -> float:
+    z = x / scale
+    return float(
+        x.size * (np.log(shape) - shape * np.log(scale))
+        + (shape - 1.0) * np.log(x).sum()
+        - (z**shape).sum()
+    )
+
+
+def fit_weibull(
+    gaps: np.ndarray, *, tol: float = 1e-10, max_iter: int = 200
+) -> WeibullFit:
+    """MLE fit via the standard profile-likelihood Newton iteration.
+
+    The shape equation  1/k = Σ xᵏ ln x / Σ xᵏ − mean(ln x)  is solved
+    by Newton's method; the scale follows in closed form.
+    """
+    x = np.asarray(gaps, dtype=np.float64)
+    x = x[x > 0]
+    if x.size < 3:
+        raise ValueError("need at least three positive gaps to fit")
+    logs = np.log(x)
+    mean_log = logs.mean()
+
+    k = 1.0  # exponential start
+    for _ in range(max_iter):
+        xk = x**k
+        a = float((xk * logs).sum() / xk.sum())
+        f = a - 1.0 / k - mean_log
+        # derivative of f wrt k
+        b = float((xk * logs**2).sum() / xk.sum())
+        fprime = b - a * a + 1.0 / (k * k)
+        step = f / fprime
+        k_new = k - step
+        if k_new <= 0:
+            k_new = k / 2.0
+        if abs(k_new - k) < tol * k:
+            k = k_new
+            break
+        k = k_new
+    theta = float((x**k).mean() ** (1.0 / k))
+    return WeibullFit(
+        scale=theta,
+        shape=float(k),
+        n=int(x.size),
+        log_likelihood=_weibull_loglik(x, theta, k),
+    )
+
+
+def _ks_statistic_exponential(x: np.ndarray) -> float:
+    """KS distance between the empirical CDF and Exp(mean(x))."""
+    xs = np.sort(x)
+    n = xs.size
+    cdf = 1.0 - np.exp(-xs / xs.mean())
+    upper = np.arange(1, n + 1) / n - cdf
+    lower = cdf - np.arange(0, n) / n
+    return float(max(upper.max(), lower.max()))
+
+
+def exponentiality_test(
+    gaps: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    n_bootstrap: int = 300,
+) -> tuple[float, float]:
+    """Lilliefors-style test of H₀: gaps are exponential.
+
+    The mean is estimated from the data, so KS critical values do not
+    apply; the p-value comes from a parametric bootstrap (simulate
+    exponential samples of the same size, refit, compare statistics).
+    Returns ``(ks_statistic, p_value)``; small p rejects memorylessness.
+    """
+    x = np.asarray(gaps, dtype=np.float64)
+    x = x[x > 0]
+    if x.size < 5:
+        raise ValueError("need at least five gaps")
+    observed = _ks_statistic_exponential(x)
+    hits = 0
+    for _ in range(n_bootstrap):
+        sample = rng.exponential(x.mean(), size=x.size)
+        if _ks_statistic_exponential(sample) >= observed:
+            hits += 1
+    return observed, (hits + 1) / (n_bootstrap + 1)
+
+
+@dataclass(frozen=True)
+class KaplanMeierCurve:
+    """Right-censored survival estimate S(t)."""
+
+    times: np.ndarray  # distinct event times, ascending
+    survival: np.ndarray  # S(t) just after each event time
+    n_events: int
+    n_censored: int
+
+    def at(self, t: float) -> float:
+        """S(t): probability of surviving beyond t."""
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        if idx < 0:
+            return 1.0
+        return float(self.survival[idx])
+
+    def median_survival(self) -> float | None:
+        """Smallest event time with S(t) ≤ 0.5, or None if never reached
+        (the usual case for card populations: most never fail)."""
+        below = np.flatnonzero(self.survival <= 0.5)
+        if below.size == 0:
+            return None
+        return float(self.times[below[0]])
+
+
+def kaplan_meier(
+    durations: np.ndarray, observed: np.ndarray
+) -> KaplanMeierCurve:
+    """Kaplan–Meier estimator.
+
+    ``durations[i]`` is time-to-event (``observed[i]`` True) or
+    time-to-censoring (False) for subject i — e.g. a card's time to its
+    first DBE, censored at end-of-study for cards that never saw one.
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    observed = np.asarray(observed, dtype=bool)
+    if durations.shape != observed.shape or durations.ndim != 1:
+        raise ValueError("durations and observed must be equal-length 1-D")
+    if durations.size == 0:
+        raise ValueError("empty sample")
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+
+    order = np.argsort(durations, kind="stable")
+    durations = durations[order]
+    observed = observed[order]
+    n = durations.size
+
+    event_times = np.unique(durations[observed])
+    survival = []
+    s = 1.0
+    for t in event_times:
+        at_risk = int(np.count_nonzero(durations >= t))
+        deaths = int(np.count_nonzero((durations == t) & observed))
+        s *= 1.0 - deaths / at_risk
+        survival.append(s)
+    return KaplanMeierCurve(
+        times=event_times,
+        survival=np.asarray(survival),
+        n_events=int(observed.sum()),
+        n_censored=int((~observed).sum()),
+    )
+
+
+def project_fleet_mtbf(
+    measured_mtbf_hours: float,
+    measured_fleet_size: int,
+    target_fleet_size: int,
+    *,
+    per_device_improvement: float = 1.0,
+) -> float:
+    """Scale a fleet MTBF to a different fleet size.
+
+    Independent per-device failures compose as rates:
+    M_target = M_measured · (measured / target) · improvement.
+    ``per_device_improvement`` > 1 credits device-generation resilience
+    gains (the paper: "newer generations of GPUs are more error
+    resilient despite large structure sizes").
+    """
+    if measured_mtbf_hours <= 0 or per_device_improvement <= 0:
+        raise ValueError("MTBF and improvement must be positive")
+    if measured_fleet_size <= 0 or target_fleet_size <= 0:
+        raise ValueError("fleet sizes must be positive")
+    return (
+        measured_mtbf_hours
+        * measured_fleet_size
+        / target_fleet_size
+        * per_device_improvement
+    )

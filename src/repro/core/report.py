@@ -1,0 +1,87 @@
+"""Plain-text rendering of tables, series and heatmaps.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers render them readably in a terminal without plotting
+dependencies: labeled monthly bar series, 2-D heatmaps with a density
+ramp, and aligned tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_monthly_series", "render_heatmap", "render_bar"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_bar(value: float, scale: float, width: int = 40) -> str:
+    """One horizontal bar scaled to ``scale`` = full width."""
+    if scale <= 0:
+        return ""
+    n = int(round(min(value / scale, 1.0) * width))
+    return "#" * n
+
+
+def render_monthly_series(
+    labels: Sequence[str], counts: np.ndarray, title: str
+) -> str:
+    """A labeled monthly bar chart (Figs. 2/4/6/9/10/11 shape)."""
+    counts = np.asarray(counts)
+    if len(labels) != counts.size:
+        raise ValueError("labels and counts must align")
+    peak = float(counts.max()) if counts.size else 0.0
+    lines = [title]
+    for label, count in zip(labels, counts):
+        lines.append(f"  {label:>7s} {int(count):6d} {render_bar(count, peak)}")
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Character-ramp heatmap of a 2-D array (Figs. 3a/5/7/12/13/14)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    peak = m.max()
+    lines = []
+    if title:
+        lines.append(title)
+    if col_labels is not None:
+        header = "      " + " ".join(f"{c:>3s}" for c in col_labels)
+        lines.append(header)
+    for i in range(m.shape[0]):
+        label = row_labels[i] if row_labels is not None else str(i)
+        cells = []
+        for j in range(m.shape[1]):
+            if peak > 0:
+                level = int(min(m[i, j] / peak, 1.0) * (len(_RAMP) - 1))
+            else:
+                level = 0
+            cells.append(f"  {_RAMP[level]} ")
+        lines.append(f"{label:>5s} " + "".join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Spatial characterization over the machine floor.
+
+The paper's spatial figures reduce to two projections of per-GPU error
+counts:
+
+* the **cabinet grid** — a 25×8 (row × column) heatmap (Figs. 3a, 5, 7,
+  12, 14);
+* the **cage distribution** — totals for the three vertical cages,
+  where the thermal story lives (Figs. 3b, 5, 7, 15), both as raw event
+  counts and as *distinct cards* ("counting only one error per card
+  addresses the previously mentioned issues").
+
+Plus the two scalar diagnostics the text reasons with: a skewness score
+(how far from uniform the grid is) and the **alternation score** that
+quantifies Fig. 12's "alternate cabinets have greater event density"
+stripe along the folded rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.event import EventLog
+from repro.topology.location import CAGES_PER_CABINET
+from repro.topology.machine import TitanMachine
+
+__all__ = [
+    "per_gpu_counts",
+    "cabinet_grid_from_events",
+    "cage_distribution",
+    "distinct_card_cage_distribution",
+    "grid_skewness",
+    "grid_alternation_score",
+    "row_profile",
+]
+
+
+def per_gpu_counts(log: EventLog, machine: TitanMachine) -> np.ndarray:
+    """Events per GPU id (length 18,688)."""
+    counts = np.zeros(machine.n_gpus, dtype=np.int64)
+    np.add.at(counts, log.gpu, 1)
+    return counts
+
+
+def cabinet_grid_from_events(
+    log: EventLog, machine: TitanMachine
+) -> np.ndarray:
+    """25×8 cabinet heatmap of event counts."""
+    return machine.cabinet_grid(per_gpu_counts(log, machine))
+
+
+def cage_distribution(log: EventLog, machine: TitanMachine) -> np.ndarray:
+    """Event totals per cage (index 0 = bottom, 2 = top)."""
+    return machine.cage_totals(per_gpu_counts(log, machine))
+
+
+def distinct_card_cage_distribution(
+    log: EventLog, machine: TitanMachine
+) -> np.ndarray:
+    """Distinct affected GPUs per cage — Fig. 3(b)/15(b)'s one-per-card
+    counting."""
+    counts = (per_gpu_counts(log, machine) > 0).astype(np.int64)
+    return machine.cage_totals(counts)
+
+
+def per_slot_cage_distribution(
+    per_slot: np.ndarray, machine: TitanMachine, *, distinct: bool = False
+) -> np.ndarray:
+    """Cage distribution of an arbitrary per-slot count array (used for
+    nvidia-smi SBE totals, which never pass through the event log)."""
+    per_slot = np.asarray(per_slot)
+    if distinct:
+        per_slot = (per_slot > 0).astype(np.int64)
+    return machine.cage_totals(per_slot)
+
+
+def grid_skewness(grid: np.ndarray) -> float:
+    """Coefficient of variation across cabinets (0 = perfectly uniform).
+
+    The paper's "highly skewed" vs "almost homogeneous" contrast in
+    Fig. 14 maps onto large vs small values of this score.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    mean = grid.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(grid.std() / mean)
+
+
+def row_profile(grid: np.ndarray) -> np.ndarray:
+    """Event totals per machine-floor row (length 25)."""
+    return np.asarray(grid).sum(axis=1)
+
+
+def grid_alternation_score(grid: np.ndarray) -> float:
+    """How much denser even rows are than odd rows, in [−1, 1].
+
+    ``(even − odd) / (even + odd)`` over row totals.  The folded-torus
+    allocation fills rows 0, 2, 4, … first, so job-wide error echoes
+    score clearly positive (Fig. 12 top/bottom); a uniform or unfolded
+    pattern scores ≈ 0.
+    """
+    rows = row_profile(grid).astype(np.float64)
+    even = rows[0::2].sum()
+    odd = rows[1::2].sum()
+    total = even + odd
+    if total == 0.0:
+        return 0.0
+    # 13 even rows vs 12 odd rows: correct for the size imbalance.
+    even_mean = even / 13.0
+    odd_mean = odd / 12.0
+    return float((even_mean - odd_mean) / (even_mean + odd_mean))
+
+
+def uniformity_chi2(grid: np.ndarray) -> float:
+    """Pearson χ² statistic against the uniform-cabinet hypothesis
+    (larger = more skewed); reported alongside skewness in benches."""
+    grid = np.asarray(grid, dtype=np.float64)
+    expected = grid.mean()
+    if expected == 0.0:
+        return 0.0
+    return float(((grid - expected) ** 2 / expected).sum())

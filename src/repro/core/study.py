@@ -1,0 +1,386 @@
+"""TitanStudy: one method per table/figure of the paper.
+
+Binds a :class:`~repro.sim.simulation.SimulationDataset` to the analysis
+toolkit.  Every ``figN`` method consumes only *observable* artifacts
+(the parsed console log, nvidia-smi tables, job-snapshot records, job
+accounting) and returns a small structured result object carrying the
+numbers the corresponding figure reports; the benchmark harness prints
+them and EXPERIMENTS.md records them against the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.burst import BurstinessMetrics, burstiness_metrics
+from repro.core.correlation import (
+    CorrelationReport,
+    UserCorrelation,
+    sbe_resource_correlations,
+    user_level_correlation,
+)
+from repro.core.filtering import dedup_by_card, sequential_dedup
+from repro.core.heatmap import FollowMatrix, follow_probability_matrix
+from repro.core.offenders import exclude_jobs_using, exclude_slots, offender_slots
+from repro.core.retirement import RetirementDelayReport, retirement_delay_analysis
+from repro.core.spatial import (
+    cabinet_grid_from_events,
+    cage_distribution,
+    distinct_card_cage_distribution,
+    grid_alternation_score,
+    grid_skewness,
+    per_slot_cage_distribution,
+)
+from repro.core.temporal import monthly_counts, mtbf_hours
+from repro.core.workload_analysis import (
+    WorkloadCharacteristics,
+    workload_characteristics,
+)
+from repro.errors.event import EventLog, structure_from_code
+from repro.errors.xid import ErrorType, table1_rows, table2_rows
+from repro.gpu.k20x import MemoryStructure
+from repro.sim.simulation import SimulationDataset
+from repro.telemetry.jobsnap import JobSnapshotFramework
+
+__all__ = ["TitanStudy"]
+
+
+@dataclass(frozen=True)
+class MonthlyFigure:
+    """A monthly-frequency figure (2, 4, 6, 9, 10, 11)."""
+
+    etype: ErrorType
+    counts: np.ndarray
+    total: int
+    mtbf_hours: float | None = None
+    burstiness: BurstinessMetrics | None = None
+
+
+@dataclass(frozen=True)
+class SpatialFigure:
+    """A spatial-distribution figure (3, 5, 7)."""
+
+    etype: ErrorType
+    grid: np.ndarray
+    cage_events: np.ndarray
+    cage_distinct_cards: np.ndarray
+    structure_fractions: dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """XID 13 spatial distribution under the three filterings."""
+
+    grid_unfiltered: np.ndarray
+    grid_filtered: np.ndarray
+    grid_children: np.ndarray
+    n_unfiltered: int
+    n_filtered: int
+    alternation_unfiltered: float
+    alternation_filtered: float
+    alternation_children: float
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """SBE spatial skew under offender exclusion."""
+
+    grids: dict[str, np.ndarray]  # "all", "minus_top10", "minus_top50"
+    skewness: dict[str, float]
+    n_cards_with_sbe: int
+    fleet_fraction_with_sbe: float
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """SBE cage distributions, events and distinct cards."""
+
+    cage_events: dict[str, np.ndarray]
+    cage_distinct: dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    all_users: UserCorrelation
+    excluding_offenders: UserCorrelation
+
+
+class TitanStudy:
+    """The full analysis pipeline over one simulated dataset."""
+
+    def __init__(self, dataset: SimulationDataset) -> None:
+        self.ds = dataset
+        self._log: EventLog | None = None
+
+    # -- shared inputs ---------------------------------------------------------
+
+    @property
+    def log(self) -> EventLog:
+        """Parsed, time-sorted console log (the SEC output)."""
+        if self._log is None:
+            self._log = self.ds.parsed_events
+        return self._log
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return self.ds.scenario.start, self.ds.scenario.end
+
+    # -- tables ---------------------------------------------------------------
+
+    def table1(self) -> list[tuple[str, str]]:
+        """Table 1: hardware error catalog."""
+        return table1_rows()
+
+    def table2(self) -> list[tuple[str, int]]:
+        """Table 2: software/firmware error catalog."""
+        return table2_rows()
+
+    # -- hardware figures --------------------------------------------------------
+
+    def fig2(self) -> MonthlyFigure:
+        """Monthly DBE frequency and fleet MTBF (Observation 1)."""
+        start, end = self.window
+        dbe = self.log.of_type(ErrorType.DBE)
+        return MonthlyFigure(
+            etype=ErrorType.DBE,
+            counts=monthly_counts(dbe),
+            total=len(dbe),
+            mtbf_hours=(
+                mtbf_hours(dbe, span_s=end - start) if len(dbe) else None
+            ),
+            burstiness=burstiness_metrics(dbe, start, end),
+        )
+
+    def _spatial(self, etype: ErrorType) -> SpatialFigure:
+        events = self.log.of_type(etype)
+        fractions: dict[str, float] = {}
+        if len(events):
+            codes, counts = np.unique(events.structure, return_counts=True)
+            for code, count in zip(codes, counts):
+                structure = structure_from_code(int(code))
+                name = structure.value if structure is not None else "unknown"
+                fractions[name] = float(count / len(events))
+        return SpatialFigure(
+            etype=etype,
+            grid=cabinet_grid_from_events(events, self.ds.machine),
+            cage_events=cage_distribution(events, self.ds.machine),
+            cage_distinct_cards=distinct_card_cage_distribution(
+                events, self.ds.machine
+            ),
+            structure_fractions=fractions,
+        )
+
+    def fig3(self) -> SpatialFigure:
+        """DBE spatial/cage/structure breakdown (Observations 1, 3)."""
+        return self._spatial(ErrorType.DBE)
+
+    def fig4(self) -> MonthlyFigure:
+        """Monthly Off-the-bus frequency (Observation 4)."""
+        start, end = self.window
+        otb = self.log.of_type(ErrorType.OFF_THE_BUS)
+        return MonthlyFigure(
+            etype=ErrorType.OFF_THE_BUS,
+            counts=monthly_counts(otb),
+            total=len(otb),
+            burstiness=burstiness_metrics(otb, start, end),
+        )
+
+    def fig5(self) -> SpatialFigure:
+        """Off-the-bus spatial distribution."""
+        return self._spatial(ErrorType.OFF_THE_BUS)
+
+    def fig6(self) -> MonthlyFigure:
+        """Monthly ECC page-retirement frequency (Observation 5)."""
+        retirement = self.log.of_type(ErrorType.ECC_PAGE_RETIREMENT)
+        return MonthlyFigure(
+            etype=ErrorType.ECC_PAGE_RETIREMENT,
+            counts=monthly_counts(retirement),
+            total=len(retirement),
+        )
+
+    def fig7(self) -> SpatialFigure:
+        """ECC page-retirement spatial distribution."""
+        return self._spatial(ErrorType.ECC_PAGE_RETIREMENT)
+
+    def fig8(self) -> RetirementDelayReport:
+        """Retirement delay since the last DBE (Observation 5)."""
+        return retirement_delay_analysis(
+            self.log, self.ds.scenario.rates.retirement_active_from
+        )
+
+    # -- software figures -----------------------------------------------------------
+
+    def _monthly(
+        self, etype: ErrorType, dedup_window_s: float = 5.0
+    ) -> MonthlyFigure:
+        """Monthly series of one stream, with the standard 5-second
+        child filter applied (job-wide echoes collapse to one event; a
+        pure Poisson driver stream is untouched)."""
+        start, end = self.window
+        events = self.log.of_type(etype)
+        if dedup_window_s > 0 and len(events):
+            events = sequential_dedup(events, dedup_window_s).kept
+        return MonthlyFigure(
+            etype=etype,
+            counts=monthly_counts(events),
+            total=len(events),
+            burstiness=(
+                burstiness_metrics(events, start, end) if len(events) else None
+            ),
+        )
+
+    def fig9(self) -> dict[int, MonthlyFigure]:
+        """XID 31/32/43/44 frequencies."""
+        return {
+            31: self._monthly(ErrorType.MEM_PAGE_FAULT),
+            32: self._monthly(ErrorType.PUSH_BUFFER),
+            43: self._monthly(ErrorType.GPU_STOPPED),
+            44: self._monthly(ErrorType.CTXSW_FAULT),
+        }
+
+    def fig10(self, dedup_window_s: float = 5.0) -> MonthlyFigure:
+        """XID 13 frequency (5-second job dedup applied, as the paper's
+        frequency plots count job-level events)."""
+        start, end = self.window
+        xid13 = self.log.of_type(ErrorType.GRAPHICS_ENGINE_EXCEPTION)
+        filtered = sequential_dedup(xid13, dedup_window_s).kept
+        return MonthlyFigure(
+            etype=ErrorType.GRAPHICS_ENGINE_EXCEPTION,
+            counts=monthly_counts(filtered),
+            total=len(filtered),
+            burstiness=burstiness_metrics(filtered, start, end),
+        )
+
+    def fig11(self) -> dict[int, MonthlyFigure]:
+        """XID 59/62 micro-controller halts."""
+        return {
+            59: self._monthly(ErrorType.MCU_HALT_OLD),
+            62: self._monthly(ErrorType.MCU_HALT_NEW),
+        }
+
+    def fig12(self, window_s: float = 5.0) -> Fig12Result:
+        """XID 13 spatial distribution: unfiltered / filtered / children."""
+        xid13 = self.log.of_type(ErrorType.GRAPHICS_ENGINE_EXCEPTION)
+        result = sequential_dedup(xid13, window_s)
+        machine = self.ds.machine
+        grid_all = cabinet_grid_from_events(xid13, machine)
+        grid_kept = cabinet_grid_from_events(result.kept, machine)
+        grid_drop = cabinet_grid_from_events(result.dropped, machine)
+        return Fig12Result(
+            grid_unfiltered=grid_all,
+            grid_filtered=grid_kept,
+            grid_children=grid_drop,
+            n_unfiltered=len(xid13),
+            n_filtered=result.n_kept,
+            alternation_unfiltered=grid_alternation_score(grid_all),
+            alternation_filtered=grid_alternation_score(grid_kept),
+            alternation_children=grid_alternation_score(grid_drop),
+        )
+
+    def fig13(self, window_s: float = 300.0) -> FollowMatrix:
+        """XID→XID follow-probability heatmap (Observation 9)."""
+        return follow_probability_matrix(self.log, window_s=window_s)
+
+    # -- SBE figures -----------------------------------------------------------------
+
+    def _sbe_totals(self) -> np.ndarray:
+        """Observable per-slot SBE totals (nvidia-smi collection)."""
+        return self.ds.nvsmi_table["sbe_total"]
+
+    def fig14(self) -> Fig14Result:
+        """SBE spatial skew and offender exclusion (Observation 10)."""
+        machine = self.ds.machine
+        totals = self._sbe_totals()
+        variants = {
+            "all": totals,
+            "minus_top10": exclude_slots(totals, offender_slots(totals, 10)),
+            "minus_top50": exclude_slots(totals, offender_slots(totals, 50)),
+        }
+        grids = {
+            name: machine.cabinet_grid(values) for name, values in variants.items()
+        }
+        return Fig14Result(
+            grids=grids,
+            skewness={name: grid_skewness(g) for name, g in grids.items()},
+            n_cards_with_sbe=int(np.count_nonzero(totals)),
+            fleet_fraction_with_sbe=float(
+                np.count_nonzero(totals) / machine.n_gpus
+            ),
+        )
+
+    def fig15(self) -> Fig15Result:
+        """SBE cage distribution, events and distinct cards."""
+        machine = self.ds.machine
+        totals = self._sbe_totals()
+        variants = {
+            "all": totals,
+            "minus_top10": exclude_slots(totals, offender_slots(totals, 10)),
+            "minus_top50": exclude_slots(totals, offender_slots(totals, 50)),
+        }
+        return Fig15Result(
+            cage_events={
+                name: per_slot_cage_distribution(v, machine)
+                for name, v in variants.items()
+            },
+            cage_distinct={
+                name: per_slot_cage_distribution(v, machine, distinct=True)
+                for name, v in variants.items()
+            },
+        )
+
+    # -- correlation figures -------------------------------------------------------------
+
+    def _snapshot_arrays(self) -> dict[str, np.ndarray]:
+        return JobSnapshotFramework.to_arrays(self.ds.jobsnap_records)
+
+    def _excluded_arrays(self, k: int = 10) -> dict[str, np.ndarray]:
+        arrays = self._snapshot_arrays()
+        slots = offender_slots(self._sbe_totals(), k)
+        return exclude_jobs_using(
+            arrays,
+            self.ds.trace,
+            slots,
+            self.ds.machine.allocation_rank,
+            arrays["job"],
+        )
+
+    def figs16_19(
+        self, *, offender_k: int = 10, rng: np.random.Generator | None = None
+    ) -> CorrelationReport:
+        """Figs. 16–19: SBE vs resource metrics (Observations 11–12)."""
+        return sbe_resource_correlations(
+            self._snapshot_arrays(),
+            excluded_arrays=self._excluded_arrays(offender_k),
+            offender_k=offender_k,
+            rng=rng,
+        )
+
+    def fig20(self, offender_k: int = 10) -> Fig20Result:
+        """Fig. 20: per-user correlation (Observation 13)."""
+        return Fig20Result(
+            all_users=user_level_correlation(self._snapshot_arrays()),
+            excluding_offenders=user_level_correlation(
+                self._excluded_arrays(offender_k)
+            ),
+        )
+
+    def fig21(self) -> WorkloadCharacteristics:
+        """Fig. 21: workload characterization (Observation 14)."""
+        return workload_characteristics(self.ds.trace)
+
+    # -- cross-check utilities -------------------------------------------------------------
+
+    def dbe_unique_cards(self) -> int:
+        """Distinct GPUs with a console-logged DBE (Fig. 3b companion)."""
+        return int(
+            dedup_by_card(self.log.of_type(ErrorType.DBE)).n_kept
+        )
+
+    def nvsmi_vs_console_dbe(self) -> tuple[int, int]:
+        """(console DBE count, nvidia-smi DBE count) — Observation 2's
+        undercount check."""
+        console = len(self.log.of_type(ErrorType.DBE))
+        nvsmi = int(self.ds.nvsmi_table["dbe_total"].sum())
+        return console, nvsmi

@@ -1,0 +1,92 @@
+"""GPU workload characterization (Fig. 21, Observation 14).
+
+Fig. 21's four panels sort jobs two ways and overlay normalized resource
+curves:
+
+* (a) max & total memory vs **GPU core-hours** (sorted by core-hours);
+* (b) node count vs GPU core-hours (same sort);
+* (c) wall-clock time vs **node count** (sorted by nodes);
+* (d) max memory vs node count (same sort).
+
+Observation 14's claims become scalar checks here:
+
+* the top-memory jobs use *below-average* core-hours;
+* jobs with long core-hours tend to use more nodes;
+* some small-node jobs are among the longest wall-clock runs;
+* the top-memory jobs run on below-median node counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import normalized_to_mean, spearman
+from repro.workload.jobs import JobTrace
+
+__all__ = ["WorkloadCharacteristics", "workload_characteristics", "panel_curves"]
+
+
+def panel_curves(
+    sort_by: np.ndarray, *series: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Sort all series by ``sort_by`` and normalize each to its mean —
+    the raw material of every Fig. 21 panel."""
+    order = np.argsort(np.asarray(sort_by), kind="stable")
+    return tuple(
+        normalized_to_mean(np.asarray(s, dtype=np.float64)[order]) for s in series
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Scalar summary backing Observation 14."""
+
+    n_jobs: int
+    #: Mean core-hours of the top-1% max-memory jobs / fleet mean.
+    top_memory_jobs_core_hour_ratio: float
+    #: Spearman(nodes, core-hours): positive (big jobs burn more hours).
+    nodes_vs_core_hours_spearman: float
+    #: Share of the top-5% walltime jobs that are small (≤64 nodes).
+    long_walltime_small_node_share: float
+    #: Median node count of the top-1% max-memory jobs / overall median.
+    top_memory_jobs_node_ratio: float
+
+    def observation_14_holds(self) -> bool:
+        """All four qualitative claims at once."""
+        return (
+            self.top_memory_jobs_core_hour_ratio < 1.0
+            and self.nodes_vs_core_hours_spearman > 0.3
+            and self.long_walltime_small_node_share > 0.2
+            and self.top_memory_jobs_node_ratio < 1.0
+        )
+
+
+def workload_characteristics(trace: JobTrace) -> WorkloadCharacteristics:
+    """Compute the Observation 14 summary over a job trace."""
+    n = len(trace)
+    if n < 100:
+        raise ValueError("workload characterization needs a substantial trace")
+    core_hours = trace.gpu_core_hours
+    nodes = trace.n_nodes.astype(np.float64)
+    walltime = trace.walltime_h
+    max_mem = trace.max_memory_gb
+
+    top_mem = np.argsort(max_mem)[::-1][: max(1, n // 100)]
+    mem_ch_ratio = float(core_hours[top_mem].mean() / core_hours.mean())
+
+    top_wall = np.argsort(walltime)[::-1][: max(1, n // 20)]
+    small_share = float(np.count_nonzero(nodes[top_wall] <= 64) / top_wall.size)
+
+    node_ratio = float(
+        np.median(nodes[top_mem]) / np.median(nodes)
+    )
+
+    return WorkloadCharacteristics(
+        n_jobs=n,
+        top_memory_jobs_core_hour_ratio=mem_ch_ratio,
+        nodes_vs_core_hours_spearman=spearman(nodes, core_hours),
+        long_walltime_small_node_share=small_share,
+        top_memory_jobs_node_ratio=node_ratio,
+    )

@@ -1,0 +1,39 @@
+"""GPU error taxonomy and event containers.
+
+``xid`` encodes the paper's Tables 1 and 2 — the full catalog of GPU
+error types observed on Titan with their XID codes, plausible causes,
+hardware/software classification, and crash semantics.  ``event``
+provides the columnar :class:`EventLog` every injector writes to and
+every analysis reads from.
+"""
+
+from repro.errors.xid import (
+    ErrorType,
+    by_xid,
+    hardware_error_types,
+    software_error_types,
+    table1_rows,
+    table2_rows,
+)
+from repro.errors.event import EventLog, EventLogBuilder
+from repro.errors.taxonomy import (
+    application_caused,
+    crashes_application,
+    driver_caused,
+    isolated_types,
+)
+
+__all__ = [
+    "ErrorType",
+    "by_xid",
+    "hardware_error_types",
+    "software_error_types",
+    "table1_rows",
+    "table2_rows",
+    "EventLog",
+    "EventLogBuilder",
+    "application_caused",
+    "crashes_application",
+    "driver_caused",
+    "isolated_types",
+]

@@ -1,0 +1,70 @@
+"""Classification predicates over :class:`ErrorType`.
+
+Small, heavily-used helpers the analysis layer applies when it splits
+events into the paper's categories: hardware vs software, application-
+vs driver-caused, crashing vs benign, isolated vs cascading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.xid import Cause, ErrorType
+
+__all__ = [
+    "application_caused",
+    "driver_caused",
+    "crashes_application",
+    "isolated_types",
+    "type_mask",
+    "APPLICATION_XIDS",
+    "DRIVER_ONLY_XIDS",
+]
+
+
+def application_caused(etype: ErrorType) -> bool:
+    """NVIDIA lists the user application among possible causes."""
+    return Cause.USER_APP in etype.causes
+
+
+def driver_caused(etype: ErrorType) -> bool:
+    """NVIDIA lists the driver among possible causes."""
+    return Cause.DRIVER in etype.causes
+
+
+def crashes_application(etype: ErrorType) -> bool:
+    return etype.crashes
+
+
+#: Types NVIDIA's documentation attributes (possibly) to the user app.
+APPLICATION_XIDS: tuple[ErrorType, ...] = tuple(
+    t for t in ErrorType if application_caused(t)
+)
+
+#: Types whose only listed non-thermal cause is the driver.
+DRIVER_ONLY_XIDS: tuple[ErrorType, ...] = tuple(
+    t
+    for t in ErrorType
+    if driver_caused(t)
+    and not application_caused(t)
+    and Cause.HARDWARE not in t.causes
+)
+
+
+def isolated_types() -> tuple[ErrorType, ...]:
+    """Types the paper finds to occur in isolation (no repeats within
+    the 300-second correlation window): Off-the-bus, XID 38, XID 48
+    (DBE) and XID 63.  Used as the expected-diagonal-low set when
+    validating the Fig. 13 heatmap."""
+    return (
+        ErrorType.OFF_THE_BUS,
+        ErrorType.DRIVER_FIRMWARE,
+        ErrorType.DBE,
+        ErrorType.ECC_PAGE_RETIREMENT,
+    )
+
+
+def type_mask(etypes: np.ndarray, members: tuple[ErrorType, ...]) -> np.ndarray:
+    """Boolean mask of rows whose type code is in ``members``."""
+    codes = np.asarray([t.code for t in members], dtype=np.int16)
+    return np.isin(np.asarray(etypes), codes)

@@ -1,0 +1,339 @@
+"""The XID error catalog — Tables 1 and 2 of the paper.
+
+NVIDIA XIDs are the driver's error-report identifiers, printed to the
+system console (and hence to Titan's SEC-parsed console logs).  Two
+error classes carry no XID: corrected single-bit errors (visible only
+through nvidia-smi counters) and "GPU off the bus" (a host-side PCIe
+disappearance logged by the node, not the GPU driver).
+
+Each :class:`ErrorType` member carries:
+
+* ``xid`` — the numeric code, or ``None``;
+* ``hardware`` / ``software`` — membership in Table 1 / Table 2 (a few
+  types appear in both; the paper notes the source is often ambiguous);
+* ``causes`` — the possible-cause list from NVIDIA's XID documentation
+  as quoted in the tables;
+* ``crashes`` — whether the event terminates the running application.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Cause",
+    "ErrorType",
+    "by_xid",
+    "hardware_error_types",
+    "software_error_types",
+    "table1_rows",
+    "table2_rows",
+]
+
+
+class Cause(enum.Enum):
+    """Possible causes per NVIDIA's XID documentation."""
+
+    HARDWARE = "hardware"
+    COSMIC_RAY = "cosmic_ray"
+    DRIVER = "driver"
+    USER_APP = "user_app"
+    SYSTEM_MEMORY_CORRUPTION = "system_memory_corruption"
+    FB_CORRUPTION = "fb_corruption"
+    BUS_ERROR = "bus_error"
+    THERMAL = "thermal"
+    SYSTEM_INTEGRATION = "system_integration"
+
+
+@dataclass(frozen=True)
+class _Info:
+    xid: int | None
+    label: str
+    hardware: bool
+    software: bool
+    causes: tuple[Cause, ...]
+    crashes: bool
+
+
+class ErrorType(enum.Enum):
+    """Every GPU error class the study tracks.
+
+    The enum *value* is a stable small integer used as the on-disk /
+    in-array code; never reorder existing members.
+    """
+
+    # ---- Table 1: hardware-related -------------------------------------
+    SBE = 0
+    DBE = 1
+    OFF_THE_BUS = 2
+    DISPLAY_ENGINE = 3
+    VMEM_PROGRAMMING = 4
+    VMEM_UNSTABLE = 5
+    ECC_PAGE_RETIREMENT = 6
+    ECC_PAGE_RETIREMENT_FAILURE = 7
+    VIDEO_PROCESSOR = 8
+    # ---- Table 2: software/firmware-related -----------------------------
+    GRAPHICS_ENGINE_EXCEPTION = 9
+    MEM_PAGE_FAULT = 10
+    PUSH_BUFFER = 11
+    DRIVER_FIRMWARE = 12
+    VIDEO_PROCESSOR_DRIVER = 13
+    GPU_STOPPED = 14
+    CTXSW_FAULT = 15
+    PREEMPTIVE_CLEANUP = 16
+    MCU_HALT_OLD = 17
+    MCU_HALT_NEW = 18
+
+    # -- metadata access ---------------------------------------------------
+
+    @property
+    def _info(self) -> _Info:
+        return _CATALOG[self]
+
+    @property
+    def xid(self) -> int | None:
+        """Numeric XID code, or None (SBE, Off-the-bus)."""
+        return self._info.xid
+
+    @property
+    def label(self) -> str:
+        """Human-readable name as used in the paper's tables."""
+        return self._info.label
+
+    @property
+    def hardware(self) -> bool:
+        """Listed in Table 1 (hardware-related)."""
+        return self._info.hardware
+
+    @property
+    def software(self) -> bool:
+        """Listed in Table 2 (software/firmware-related)."""
+        return self._info.software
+
+    @property
+    def causes(self) -> tuple[Cause, ...]:
+        return self._info.causes
+
+    @property
+    def crashes(self) -> bool:
+        """Whether the event terminates the running application."""
+        return self._info.crashes
+
+    @property
+    def code(self) -> int:
+        """Stable integer code for columnar storage."""
+        return self.value
+
+
+_CATALOG: dict[ErrorType, _Info] = {
+    ErrorType.SBE: _Info(
+        None,
+        "Single Bit Error (corrected by the SECDED ECC)",
+        True,
+        False,
+        (Cause.COSMIC_RAY, Cause.HARDWARE),
+        False,
+    ),
+    ErrorType.DBE: _Info(
+        48,
+        "Double Bit Error (detected by the SECDED ECC, but not corrected)",
+        True,
+        False,
+        (Cause.COSMIC_RAY, Cause.HARDWARE),
+        True,
+    ),
+    ErrorType.OFF_THE_BUS: _Info(
+        None,
+        "Off the Bus",
+        True,
+        False,
+        (Cause.SYSTEM_INTEGRATION, Cause.THERMAL),
+        True,
+    ),
+    ErrorType.DISPLAY_ENGINE: _Info(
+        56,
+        "Display Engine error",
+        True,
+        False,
+        (Cause.HARDWARE,),
+        False,
+    ),
+    ErrorType.VMEM_PROGRAMMING: _Info(
+        57,
+        "Error programming video memory interface",
+        True,
+        True,
+        (Cause.HARDWARE, Cause.DRIVER),
+        True,
+    ),
+    ErrorType.VMEM_UNSTABLE: _Info(
+        58,
+        "Unstable video memory interface detected",
+        True,
+        True,
+        (Cause.HARDWARE, Cause.DRIVER),
+        True,
+    ),
+    ErrorType.ECC_PAGE_RETIREMENT: _Info(
+        63,
+        "ECC page retirement error",
+        True,
+        False,
+        (Cause.HARDWARE,),
+        False,  # crashes only on the DBE path; the DBE itself crashes
+    ),
+    ErrorType.ECC_PAGE_RETIREMENT_FAILURE: _Info(
+        64,
+        "ECC page retirement error (recording failure)",
+        True,
+        False,
+        (Cause.HARDWARE,),
+        True,
+    ),
+    ErrorType.VIDEO_PROCESSOR: _Info(
+        65,
+        "Video processor exception",
+        True,
+        False,
+        (Cause.HARDWARE,),
+        True,
+    ),
+    ErrorType.GRAPHICS_ENGINE_EXCEPTION: _Info(
+        13,
+        "Graphics Engine Exception",
+        False,
+        True,
+        (
+            Cause.DRIVER,
+            Cause.USER_APP,
+            Cause.SYSTEM_MEMORY_CORRUPTION,
+            Cause.FB_CORRUPTION,
+            Cause.BUS_ERROR,
+            Cause.THERMAL,
+            Cause.HARDWARE,  # Observation 8: one node's XID 13 was hardware
+        ),
+        True,
+    ),
+    ErrorType.MEM_PAGE_FAULT: _Info(
+        31,
+        "GPU memory page fault",
+        False,
+        True,
+        (Cause.DRIVER, Cause.USER_APP),
+        True,
+    ),
+    ErrorType.PUSH_BUFFER: _Info(
+        32,
+        "Invalid or corrupted push buffer stream",
+        False,
+        True,
+        (
+            Cause.DRIVER,
+            Cause.USER_APP,
+            Cause.SYSTEM_MEMORY_CORRUPTION,
+            Cause.FB_CORRUPTION,
+            Cause.BUS_ERROR,
+            Cause.THERMAL,
+        ),
+        True,
+    ),
+    ErrorType.DRIVER_FIRMWARE: _Info(
+        38,
+        "Driver firmware error",
+        False,
+        True,
+        (Cause.DRIVER,),
+        True,
+    ),
+    ErrorType.VIDEO_PROCESSOR_DRIVER: _Info(
+        42,
+        "Video processor exception (driver)",
+        False,
+        True,
+        (Cause.DRIVER,),
+        True,
+    ),
+    ErrorType.GPU_STOPPED: _Info(
+        43,
+        "GPU stopped processing",
+        False,
+        True,
+        (Cause.DRIVER, Cause.USER_APP),
+        True,
+    ),
+    ErrorType.CTXSW_FAULT: _Info(
+        44,
+        "Graphics Engine fault during context switch",
+        False,
+        True,
+        (Cause.DRIVER,),
+        True,
+    ),
+    ErrorType.PREEMPTIVE_CLEANUP: _Info(
+        45,
+        "Preemptive cleanup, due to previous errors",
+        False,
+        True,
+        (Cause.DRIVER,),
+        False,  # follows a crash; does not itself crash anything new
+    ),
+    ErrorType.MCU_HALT_OLD: _Info(
+        59,
+        "Internal micro-controller halt (old driver error)",
+        False,
+        True,
+        (Cause.DRIVER,),
+        True,
+    ),
+    ErrorType.MCU_HALT_NEW: _Info(
+        62,
+        "Internal micro-controller halt (new driver error, thermal)",
+        False,
+        True,
+        (Cause.DRIVER, Cause.THERMAL),
+        True,
+    ),
+}
+
+_BY_CODE: dict[int, ErrorType] = {t.value: t for t in ErrorType}
+
+
+def from_code(code: int) -> ErrorType:
+    """Inverse of :attr:`ErrorType.code`."""
+    return _BY_CODE[int(code)]
+
+
+def by_xid(xid: int) -> tuple[ErrorType, ...]:
+    """All error types reported under a numeric XID.
+
+    Most XIDs map to one type; 57/58 appear in both tables but are a
+    single type each here, so the tuple is usually length 1.
+    """
+    return tuple(t for t in ErrorType if t.xid == xid)
+
+
+def hardware_error_types() -> tuple[ErrorType, ...]:
+    """Table 1 membership, in table order."""
+    return tuple(t for t in ErrorType if t.hardware)
+
+
+def software_error_types() -> tuple[ErrorType, ...]:
+    """Table 2 membership, in table order."""
+    return tuple(t for t in ErrorType if t.software)
+
+
+def table1_rows() -> list[tuple[str, str]]:
+    """(label, xid-string) rows matching the paper's Table 1."""
+    rows = []
+    for t in hardware_error_types():
+        if t in (ErrorType.ECC_PAGE_RETIREMENT, ErrorType.ECC_PAGE_RETIREMENT_FAILURE):
+            continue
+        rows.append((t.label, str(t.xid) if t.xid is not None else "-"))
+    rows.append(("ECC page retirement error", "63,64"))
+    return rows
+
+
+def table2_rows() -> list[tuple[str, int]]:
+    """(label, xid) rows matching the paper's Table 2."""
+    return [(t.label, t.xid) for t in software_error_types() if t.xid is not None]

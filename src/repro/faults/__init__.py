@@ -1,0 +1,49 @@
+"""Fault injection: the generative model of Titan's error behaviour.
+
+Each injector turns calibrated rates (:mod:`repro.faults.rates`) into
+timestamped :class:`~repro.errors.event.EventLog` rows using the
+stochastic processes in :mod:`repro.faults.processes`:
+
+* :mod:`repro.faults.hardware` — DBEs (homogeneous Poisson across the
+  fleet, thermally skewed across cages, 86 %/14 % device-memory /
+  register-file split), Off-the-bus (clustered, dies after the Dec'2013
+  soldering fix), and the ECC-page-retirement events both DBEs and
+  repeated SBEs produce;
+* :mod:`repro.faults.software` — driver XIDs (sparse Poisson) and
+  application XIDs (bursty, deadline-modulated, echoed on every node of
+  the owning job);
+* :mod:`repro.faults.sbe` — corrected single-bit errors driven by
+  per-card proneness and job activity;
+* :mod:`repro.faults.cascade` — parent→child event generation (XID 48 →
+  45/63, XID 13 → 43, …) matching the Fig. 13 heatmap.
+
+The orchestrating :class:`~repro.faults.injector.FaultInjector` runs
+them all against a job trace and merges the streams.
+"""
+
+from repro.faults.processes import (
+    burst_process,
+    hpp_times,
+    nhpp_times_piecewise,
+    weibull_interarrival_times,
+)
+from repro.faults.rates import RateConfig
+from repro.faults.hardware import HardwareInjector
+from repro.faults.software import SoftwareInjector
+from repro.faults.sbe import SbeInjector
+from repro.faults.cascade import CascadeModel
+from repro.faults.injector import FaultInjector, InjectionResult
+
+__all__ = [
+    "burst_process",
+    "hpp_times",
+    "nhpp_times_piecewise",
+    "weibull_interarrival_times",
+    "RateConfig",
+    "HardwareInjector",
+    "SoftwareInjector",
+    "SbeInjector",
+    "CascadeModel",
+    "FaultInjector",
+    "InjectionResult",
+]

@@ -1,0 +1,213 @@
+"""Hardware fault injection: DBEs, Off-the-bus, DBE-driven retirement.
+
+**Double-bit errors.**  Fleet-level arrivals are homogeneous Poisson at
+1/160 h (Observation 1: "not bursty in nature"); each arrival lands on a
+card with probability ∝ fragility × thermal factor, giving the cage
+gradient of Fig. 3(b) without making any single card bursty.  Structure
+follows the 86 %/14 % device-memory/register-file split of Fig. 3(c).
+Cards reaching the DBE threshold are swapped to the hot-spare cluster,
+implementing OLCF's replacement policy.
+
+**Off-the-bus.**  A clustered process before the Dec'2013 soldering fix,
+a trickle after (Fig. 4); GPU assignment is thermally weighted (Fig. 5)
+and avoids repeat cards ("do not tend to reappear on the same card").
+
+**DBE-driven page retirement.**  A device-memory DBE retires its page;
+the XID 63 console event appears shortly after the DBE *if* the node
+survives long enough to log it (``retirement_log_probability``),
+reproducing both the ≤10-minute mode of Fig. 8 and the 17 DBE pairs
+with no retirement logged between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.faults.processes import hpp_times, burst_process
+from repro.faults.rates import RateConfig
+from repro.gpu.fleet import GPUFleet
+from repro.gpu.k20x import K20X, MemoryStructure
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+from repro.workload.lookup import JobLocator
+
+__all__ = ["HardwareInjector", "HardwareOutcome"]
+
+
+@dataclass
+class HardwareOutcome:
+    """Bookkeeping the orchestrator needs beyond the raw events."""
+
+    n_dbe: int
+    n_otb: int
+    n_retirements_logged: int
+    replaced_slots: list[int]
+
+
+class HardwareInjector:
+    """Generates hardware error events into a shared builder."""
+
+    def __init__(
+        self,
+        machine: TitanMachine,
+        fleet: GPUFleet,
+        thermal: ThermalModel,
+        rates: RateConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        rates.validate()
+        self.machine = machine
+        self.fleet = fleet
+        self.thermal = thermal
+        self.rates = rates
+        self.rng = rng
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _dbe_weights(self, fragility: np.ndarray) -> np.ndarray:
+        w = fragility * self.thermal.arrhenius_factor(0.5)
+        return w / w.sum()
+
+    def _sample_structure(self) -> MemoryStructure:
+        split = self.rates.dbe_structure_split
+        structures = list(split.keys())
+        probs = np.asarray(list(split.values()))
+        return structures[int(self.rng.choice(len(structures), p=probs))]
+
+    # -- injection ------------------------------------------------------------------
+
+    def inject_dbes(
+        self,
+        start: float,
+        end: float,
+        builder: EventLogBuilder,
+        locator: JobLocator | None = None,
+    ) -> HardwareOutcome:
+        """Inject DBEs (and their logged retirements) over ``[start, end)``.
+
+        Events are processed in time order so card replacement affects
+        later assignments. Returns bookkeeping counters.
+        """
+        times = hpp_times(self.rates.dbe_rate_per_second, start, end, self.rng)
+        replaced: list[int] = []
+        n_retired_logged = 0
+        # Working copy: a card's first DBE reveals a latent defect and
+        # boosts its subsequent rate (per-card temporal locality).
+        fragility = self.fleet.dbe_fragility.copy()
+        for t in times:
+            weights = self._dbe_weights(fragility)
+            slot = int(self.rng.choice(self.machine.n_gpus, p=weights))
+            fragility[slot] *= self.rates.dbe_repeat_boost
+            structure = self._sample_structure()
+            page = int(self.rng.integers(K20X.n_device_pages))
+            card = self.fleet.card_in_slot(slot)
+            record = card.apply_dbe(
+                structure,
+                page,
+                float(t),
+                u_loss=float(self.rng.random()),
+                u_double=float(self.rng.random()),
+            )
+            job = locator.job_on_gpu(float(t), slot) if locator is not None else -1
+            builder.add(
+                float(t),
+                slot,
+                ErrorType.DBE,
+                structure=structure,
+                job=job,
+                aux=page,
+            )
+            if record is not None and (
+                self.rng.random() < self.rates.retirement_log_probability
+            ):
+                delay = 5.0 + self.rng.exponential(
+                    self.rates.retirement_delay_scale_s
+                )
+                builder.add(
+                    float(t) + delay,
+                    slot,
+                    ErrorType.ECC_PAGE_RETIREMENT,
+                    structure=MemoryStructure.DEVICE_MEMORY,
+                    job=job,
+                    aux=page,
+                )
+                n_retired_logged += 1
+            if card.exceeds_dbe_threshold(self.rates.dbe_replacement_threshold):
+                spare = self.fleet.replace_card(slot)
+                fragility[slot] = spare.dbe_fragility
+                replaced.append(slot)
+        return HardwareOutcome(
+            n_dbe=times.size,
+            n_otb=0,
+            n_retirements_logged=n_retired_logged,
+            replaced_slots=replaced,
+        )
+
+    def inject_off_the_bus(
+        self,
+        start: float,
+        end: float,
+        builder: EventLogBuilder,
+        locator: JobLocator | None = None,
+    ) -> int:
+        """Inject Off-the-bus events; returns how many were injected."""
+        rates = self.rates
+        fix = rates.otb_fix_time
+        pieces: list[np.ndarray] = []
+        if fix is None or fix >= end:
+            hi = end
+            pieces.append(
+                burst_process(
+                    start,
+                    hi,
+                    self.rng,
+                    burst_rate_per_second=(
+                        rates.otb_rate_before_fix_per_hour
+                        / 3600.0
+                        / rates.otb_cluster_size_mean
+                    ),
+                    events_per_burst_mean=rates.otb_cluster_size_mean,
+                    burst_duration_s=rates.otb_cluster_duration_s,
+                )
+            )
+        else:
+            if fix > start:
+                pieces.append(
+                    burst_process(
+                        start,
+                        fix,
+                        self.rng,
+                        burst_rate_per_second=(
+                            rates.otb_rate_before_fix_per_hour
+                            / 3600.0
+                            / rates.otb_cluster_size_mean
+                        ),
+                        events_per_burst_mean=rates.otb_cluster_size_mean,
+                        burst_duration_s=rates.otb_cluster_duration_s,
+                    )
+                )
+            pieces.append(
+                hpp_times(
+                    rates.otb_rate_after_fix_per_hour / 3600.0,
+                    max(start, fix),
+                    end,
+                    self.rng,
+                )
+            )
+        times = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+
+        # Thermal weighting; penalize already-hit cards so OTB rarely
+        # repeats on the same card.
+        base = self.thermal.arrhenius_factor(0.5).copy()
+        for t in times:
+            p = base / base.sum()
+            slot = int(self.rng.choice(self.machine.n_gpus, p=p))
+            self.fleet.card_in_slot(slot).apply_off_the_bus(float(t))
+            base[slot] *= 0.02
+            job = locator.job_on_gpu(float(t), slot) if locator is not None else -1
+            builder.add(float(t), slot, ErrorType.OFF_THE_BUS, job=job)
+        return int(times.size)

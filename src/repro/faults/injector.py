@@ -1,0 +1,122 @@
+"""The fault-injection orchestrator.
+
+Runs the hardware, software and SBE injectors against a scheduled
+workload, expands cascades, and returns everything the telemetry layer
+needs to write console logs and nvidia-smi snapshots:
+
+1. hardware faults first (DBEs can replace cards, which changes the
+   fleet the SBE injector sees — matching reality, where a swapped
+   offender stops producing SBEs);
+2. software/application faults against the job trace;
+3. cascade expansion of the merged parent log (echoes, children);
+4. SBE aggregates plus double-SBE retirement events;
+5. one final time-sort with parent-index remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.event import EventLog, EventLogBuilder
+from repro.faults.cascade import CascadeModel
+from repro.faults.hardware import HardwareInjector, HardwareOutcome
+from repro.faults.rates import RateConfig
+from repro.faults.sbe import SbeInjector, SbeOutcome
+from repro.faults.software import SoftwareInjector
+from repro.gpu.fleet import GPUFleet
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+from repro.workload.jobs import JobTrace
+from repro.workload.lookup import JobLocator
+from repro.workload.users import UserPopulation
+
+__all__ = ["FaultInjector", "InjectionResult"]
+
+
+@dataclass
+class InjectionResult:
+    """Everything the injection pass produced."""
+
+    #: Complete, time-sorted event log (parents + children).
+    events: EventLog
+    #: Per-GPU-slot lifetime SBE totals.
+    sbe_by_slot: np.ndarray
+    #: Per-job SBE counts.
+    sbe_by_job: np.ndarray
+    #: Hardware bookkeeping (replacements, counts).
+    hardware: HardwareOutcome
+    #: Software stream counts by name.
+    software_counts: dict[str, int]
+    #: Double-SBE retirements.
+    n_double_sbe_retirements: int
+
+
+class FaultInjector:
+    """Composes all injectors over one simulation window."""
+
+    def __init__(
+        self,
+        machine: TitanMachine,
+        fleet: GPUFleet,
+        thermal: ThermalModel,
+        users: UserPopulation,
+        rates: RateConfig,
+        rng_hardware: np.random.Generator,
+        rng_software: np.random.Generator,
+        rng_sbe: np.random.Generator,
+        rng_cascade: np.random.Generator,
+    ) -> None:
+        # The fleet's per-card retirement trackers and the rate config
+        # must agree on the driver-rollout time, or retirement events
+        # would predate the feature.
+        sample = fleet.card_in_slot(0)
+        if sample.retirement.active_from != rates.retirement_active_from:
+            raise ValueError(
+                "fleet retirement_active_from "
+                f"({sample.retirement.active_from}) disagrees with rates "
+                f"({rates.retirement_active_from})"
+            )
+        self.machine = machine
+        self.fleet = fleet
+        self.rates = rates
+        self.hardware = HardwareInjector(machine, fleet, thermal, rates, rng_hardware)
+        self.software = SoftwareInjector(machine, users, rates, rng_software)
+        self.sbe = SbeInjector(machine, fleet, rates, rng_sbe, thermal)
+        self.cascade = CascadeModel(rates, rng_cascade)
+
+    def run(
+        self,
+        trace: JobTrace,
+        start: float,
+        end: float,
+    ) -> InjectionResult:
+        """Inject all fault classes over ``[start, end)``."""
+        locator = JobLocator(trace, self.machine.allocation_rank)
+
+        parents = EventLogBuilder()
+        hw = self.hardware.inject_dbes(start, end, parents, locator)
+        hw.n_otb = self.hardware.inject_off_the_bus(start, end, parents, locator)
+        sw_counts = self.software.inject_application(start, end, parents, locator)
+        sw_counts.update(self.software.inject_driver(start, end, parents, locator))
+
+        with_children = self.cascade.apply(parents.freeze(), locator)
+
+        # SBEs run last: card replacements above already pruned the fleet.
+        sbe_builder = EventLogBuilder()
+        sbe_out: SbeOutcome = self.sbe.inject(trace, start, end, sbe_builder, locator)
+
+        merged = EventLog.concatenate([with_children, sbe_builder.freeze()])
+        # Children of rows in `with_children` keep valid indices because
+        # concatenate appends the SBE rows *after* them; sort remaps all.
+        events = merged.sorted_by_time()
+
+        return InjectionResult(
+            events=events,
+            sbe_by_slot=sbe_out.sbe_by_slot,
+            sbe_by_job=sbe_out.sbe_by_job,
+            hardware=hw,
+            software_counts=sw_counts,
+            n_double_sbe_retirements=sbe_out.n_double_sbe_retirements,
+        )

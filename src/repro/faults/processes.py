@@ -1,0 +1,161 @@
+"""Stochastic point processes used by the fault injectors.
+
+All samplers return **sorted arrays of event timestamps** within
+``[start, end)`` and take an explicit generator, so every injector is
+deterministic under :class:`~repro.rng.RngTree`.
+
+The processes match how the paper characterizes each error class:
+
+* *homogeneous Poisson* (``hpp_times``) — DBEs ("not bursty in nature",
+  MTBF ≈ 160 h) and the quieter driver XIDs;
+* *piecewise non-homogeneous Poisson* (``nhpp_times_piecewise``) —
+  Off-the-bus (high rate until the Dec'13 soldering fix, near-zero
+  after) and page retirement (zero before the Jan'14 driver);
+* *Markov-modulated bursts* (``burst_process``) — application XIDs,
+  which "often occur in bursts ... may also correlate with domain
+  scientists' project or paper deadlines";
+* *Weibull renewals* (``weibull_interarrival_times``) — available for
+  wear-out studies (shape > 1) and used by ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hpp_times",
+    "nhpp_times_piecewise",
+    "burst_process",
+    "weibull_interarrival_times",
+    "thinned_times",
+]
+
+
+def _validate_window(start: float, end: float) -> None:
+    if end < start:
+        raise ValueError(f"empty window: [{start}, {end})")
+
+
+def hpp_times(
+    rate_per_second: float,
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Homogeneous Poisson process on ``[start, end)``.
+
+    Samples the event count from ``Poisson(rate * T)`` and scatters the
+    events uniformly — exact and O(n), unlike incremental exponential
+    stepping.
+    """
+    _validate_window(start, end)
+    if rate_per_second < 0:
+        raise ValueError("rate must be non-negative")
+    duration = end - start
+    n = rng.poisson(rate_per_second * duration)
+    times = start + rng.random(n) * duration
+    return np.sort(times)
+
+
+def nhpp_times_piecewise(
+    breakpoints: np.ndarray,
+    rates_per_second: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Non-homogeneous Poisson with piecewise-constant intensity.
+
+    ``breakpoints`` has ``k+1`` ascending edges; ``rates_per_second``
+    has ``k`` segment rates. Returns sorted times over the whole span.
+    """
+    breakpoints = np.asarray(breakpoints, dtype=np.float64)
+    rates = np.asarray(rates_per_second, dtype=np.float64)
+    if breakpoints.ndim != 1 or breakpoints.size != rates.size + 1:
+        raise ValueError("need k+1 breakpoints for k rates")
+    if np.any(np.diff(breakpoints) < 0):
+        raise ValueError("breakpoints must be ascending")
+    if np.any(rates < 0):
+        raise ValueError("rates must be non-negative")
+    pieces = [
+        hpp_times(rate, lo, hi, rng)
+        for rate, lo, hi in zip(rates, breakpoints[:-1], breakpoints[1:])
+    ]
+    return np.concatenate(pieces) if pieces else np.empty(0)
+
+
+def burst_process(
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+    *,
+    burst_rate_per_second: float,
+    events_per_burst_mean: float,
+    burst_duration_s: float,
+    modulation: np.ndarray | None = None,
+    modulation_edges: np.ndarray | None = None,
+) -> np.ndarray:
+    """Burst (Neyman–Scott cluster) process.
+
+    Burst *centers* arrive as a (possibly modulated) Poisson process;
+    each burst spawns ``1 + Poisson(events_per_burst_mean - 1)`` events
+    spread exponentially over ``burst_duration_s``.  ``modulation``
+    (piecewise multiplier over ``modulation_edges``) models deadline
+    weeks: multipliers > 1 concentrate bursts in those segments.
+    """
+    _validate_window(start, end)
+    if events_per_burst_mean < 1:
+        raise ValueError("a burst has at least one event on average")
+    if modulation is None:
+        centers = hpp_times(burst_rate_per_second, start, end, rng)
+    else:
+        if modulation_edges is None:
+            raise ValueError("modulation requires modulation_edges")
+        edges = np.asarray(modulation_edges, dtype=np.float64)
+        centers = nhpp_times_piecewise(
+            edges, burst_rate_per_second * np.asarray(modulation), rng
+        )
+        centers = centers[(centers >= start) & (centers < end)]
+    sizes = 1 + rng.poisson(events_per_burst_mean - 1.0, size=centers.size)
+    offsets = rng.exponential(burst_duration_s, size=int(sizes.sum()))
+    times = np.repeat(centers, sizes) + offsets
+    times = times[(times >= start) & (times < end)]
+    return np.sort(times)
+
+
+def weibull_interarrival_times(
+    scale_s: float,
+    shape: float,
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Renewal process with Weibull inter-arrivals on ``[start, end)``.
+
+    ``shape < 1`` clusters (infant mortality), ``shape = 1`` reduces to
+    Poisson, ``shape > 1`` regularizes (wear-out).
+    """
+    _validate_window(start, end)
+    if scale_s <= 0 or shape <= 0:
+        raise ValueError("scale and shape must be positive")
+    times = []
+    t = start + scale_s * rng.weibull(shape)
+    # Guard: expected count; cap pathological parameter choices.
+    cap = int(10 * (end - start) / scale_s + 1000)
+    while t < end and len(times) < cap:
+        times.append(t)
+        t += scale_s * rng.weibull(shape)
+    return np.asarray(times)
+
+
+def thinned_times(
+    times: np.ndarray,
+    keep_probability: float | np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Independent thinning: keep each event with the given probability
+    (scalar or per-event array). Used to split a fleet-level process
+    across categories."""
+    times = np.asarray(times)
+    p = np.broadcast_to(np.asarray(keep_probability, dtype=np.float64), times.shape)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("keep probability must be in [0, 1]")
+    return times[rng.random(times.shape) < p]

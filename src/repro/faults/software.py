@@ -1,0 +1,206 @@
+"""Software, firmware and application XID injection.
+
+Application XIDs (13, 31) ride on the workload: a burst process —
+modulated by the users' deadline cycle — picks a *running job* (biased
+toward high-``debug_intensity`` users and short debug runs) and fires
+on one of its nodes.  The job-wide echo to every other allocated node is
+applied later by :class:`~repro.faults.cascade.CascadeModel`, so the
+events emitted here are the "parent" events a 5-second filter should
+recover (Fig. 12, middle panel).
+
+Driver XIDs are plain Poisson streams, matching Observation 6 ("driver
+related XID errors are not bursty and occur relatively less
+frequently"):
+
+* 43 / 44 at steady fleet rates;
+* 59 only before the Jan'2014 driver upgrade, 62 only after (Fig. 11);
+* 32, 38, 56, 57, 58, 64, 65 as rare fixed-expectation streams, and 42
+  with expectation zero ("do not occur at all");
+
+plus the paper's one pathological node whose "application" XID 13 is
+really failing hardware (Observation 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.faults.processes import burst_process, hpp_times
+from repro.faults.rates import DRIVER_UPGRADE_TIME, RateConfig
+from repro.topology.machine import TitanMachine
+from repro.units import DAY, HOUR
+from repro.workload.generator import deadline_cycle_factor
+from repro.workload.lookup import JobLocator
+from repro.workload.users import UserPopulation
+
+__all__ = ["SoftwareInjector"]
+
+#: Rare driver streams: (error type, RateConfig field with expected total).
+_RARE_STREAMS: tuple[tuple[ErrorType, str], ...] = (
+    (ErrorType.PUSH_BUFFER, "xid32_expected_total"),
+    (ErrorType.DRIVER_FIRMWARE, "xid38_expected_total"),
+    (ErrorType.VIDEO_PROCESSOR_DRIVER, "xid42_expected_total"),
+    (ErrorType.DISPLAY_ENGINE, "xid56_expected_total"),
+    (ErrorType.VMEM_PROGRAMMING, "xid57_expected_total"),
+    (ErrorType.VMEM_UNSTABLE, "xid58_expected_total"),
+    (ErrorType.ECC_PAGE_RETIREMENT_FAILURE, "xid64_expected_total"),
+    (ErrorType.VIDEO_PROCESSOR, "xid65_expected_total"),
+)
+
+
+class SoftwareInjector:
+    """Generates software/application error events into a shared builder."""
+
+    def __init__(
+        self,
+        machine: TitanMachine,
+        users: UserPopulation,
+        rates: RateConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        rates.validate()
+        self.machine = machine
+        self.users = users
+        self.rates = rates
+        self.rng = rng
+        self._debug_weights = np.asarray(
+            [p.debug_intensity for p in users.profiles]
+        )
+
+    # -- application XIDs ----------------------------------------------------
+
+    def _deadline_modulation(
+        self, start: float, end: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Weekly piecewise deadline multiplier over the window."""
+        edges = np.arange(start, end + 7 * DAY, 7 * DAY)
+        edges[-1] = end
+        mids = 0.5 * (edges[:-1] + edges[1:])
+        factors = deadline_cycle_factor(mids, 0.0, self.rates.xid13_deadline_boost)
+        return edges, factors
+
+    def _emit_app_events(
+        self,
+        times: np.ndarray,
+        etype: ErrorType,
+        builder: EventLogBuilder,
+        locator: JobLocator,
+    ) -> int:
+        emitted = 0
+        for t in times:
+            # No size bias: a node's chance of hosting the crashing job
+            # must track its occupancy so the job-wide echo inherits the
+            # allocation stripe of Fig. 12 from multi-cabinet jobs.
+            job = locator.pick_running_job(
+                float(t), self.rng, self._debug_weights, size_bias_exponent=0.0
+            )
+            if job < 0:
+                continue  # idle floor: debug runs need a job to crash
+            gpus = locator.job_gpus(job)
+            gpu = int(gpus[self.rng.integers(gpus.size)])
+            builder.add(float(t), gpu, etype, job=job)
+            emitted += 1
+        return emitted
+
+    def inject_application(
+        self,
+        start: float,
+        end: float,
+        builder: EventLogBuilder,
+        locator: JobLocator,
+    ) -> dict[str, int]:
+        """Inject XID 13 and XID 31 parent events."""
+        edges, factors = self._deadline_modulation(start, end)
+        xid13_times = burst_process(
+            start,
+            end,
+            self.rng,
+            burst_rate_per_second=self.rates.xid13_burst_rate_per_hour / HOUR,
+            events_per_burst_mean=self.rates.xid13_events_per_burst,
+            burst_duration_s=self.rates.xid13_burst_duration_s,
+            modulation=factors,
+            modulation_edges=edges,
+        )
+        n13 = self._emit_app_events(
+            xid13_times, ErrorType.GRAPHICS_ENGINE_EXCEPTION, builder, locator
+        )
+        xid31_times = hpp_times(
+            self.rates.xid31_rate_per_hour / HOUR, start, end, self.rng
+        )
+        n31 = self._emit_app_events(
+            xid31_times, ErrorType.MEM_PAGE_FAULT, builder, locator
+        )
+        # Observation 8: the bad node fires XID 13 no matter what runs.
+        nbad = 0
+        if self.rates.bad_xid13_gpu >= 0:
+            bad_times = hpp_times(
+                self.rates.bad_xid13_rate_per_hour / HOUR, start, end, self.rng
+            )
+            for t in bad_times:
+                job = locator.job_on_gpu(float(t), self.rates.bad_xid13_gpu)
+                builder.add(
+                    float(t),
+                    self.rates.bad_xid13_gpu,
+                    ErrorType.GRAPHICS_ENGINE_EXCEPTION,
+                    job=job,
+                )
+                nbad += 1
+        return {"xid13": n13, "xid31": n31, "xid13_bad_node": nbad}
+
+    # -- driver XIDs ----------------------------------------------------------
+
+    def _emit_uniform(
+        self,
+        times: np.ndarray,
+        etype: ErrorType,
+        builder: EventLogBuilder,
+        locator: JobLocator | None,
+    ) -> None:
+        if times.size == 0:
+            return
+        gpus = self.rng.integers(self.machine.n_gpus, size=times.size)
+        for t, gpu in zip(times, gpus):
+            job = (
+                locator.job_on_gpu(float(t), int(gpu))
+                if locator is not None
+                else -1
+            )
+            builder.add(float(t), int(gpu), etype, job=job)
+
+    def inject_driver(
+        self,
+        start: float,
+        end: float,
+        builder: EventLogBuilder,
+        locator: JobLocator | None = None,
+    ) -> dict[str, int]:
+        """Inject all driver/firmware XID streams."""
+        rates = self.rates
+        counts: dict[str, int] = {}
+
+        t43 = hpp_times(rates.xid43_rate_per_hour / HOUR, start, end, self.rng)
+        self._emit_uniform(t43, ErrorType.GPU_STOPPED, builder, locator)
+        counts["xid43"] = t43.size
+
+        t44 = hpp_times(rates.xid44_rate_per_hour / HOUR, start, end, self.rng)
+        self._emit_uniform(t44, ErrorType.CTXSW_FAULT, builder, locator)
+        counts["xid44"] = t44.size
+
+        # Micro-controller halts: old XID before the upgrade, new after.
+        upgrade = min(max(DRIVER_UPGRADE_TIME, start), end)
+        t59 = hpp_times(rates.xid59_rate_per_hour / HOUR, start, upgrade, self.rng)
+        self._emit_uniform(t59, ErrorType.MCU_HALT_OLD, builder, locator)
+        counts["xid59"] = t59.size
+        t62 = hpp_times(rates.xid62_rate_per_hour / HOUR, upgrade, end, self.rng)
+        self._emit_uniform(t62, ErrorType.MCU_HALT_NEW, builder, locator)
+        counts["xid62"] = t62.size
+
+        duration = max(end - start, 1.0)
+        for etype, field_name in _RARE_STREAMS:
+            expected = getattr(rates, field_name)
+            times = hpp_times(expected / duration, start, end, self.rng)
+            self._emit_uniform(times, etype, builder, locator)
+            counts[f"xid{etype.xid}"] = times.size
+        return counts

@@ -1,0 +1,166 @@
+"""Calibration self-validation: do measured statistics match the knobs?
+
+A calibrated simulator silently drifts when someone edits an injector:
+the configured MTBF stops being the realized MTBF, and every downstream
+figure inherits the bias.  This module closes the loop — it measures a
+dataset the way the analysis toolkit does and checks each statistic
+against its :class:`~repro.faults.rates.RateConfig` knob with an
+explicit sampling-error budget:
+
+* counts of Poisson-driven streams (DBEs, driver XIDs) must fall inside
+  a ±k·√λ band around their configured expectation;
+* era splits (OTB before/after the solder fix; XID 59/62 around the
+  driver upgrade) must hold exactly where the config says they must;
+* structure splits (DBE device/regfile) within binomial error.
+
+``python -m repro calibration`` runs it from the command line; the test
+suite runs it on every default dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.xid import ErrorType
+from repro.faults.rates import DRIVER_UPGRADE_TIME
+from repro.gpu.k20x import MemoryStructure
+from repro.units import HOUR
+
+__all__ = ["CalibrationCheck", "validate_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One statistic compared against its configured expectation."""
+
+    name: str
+    expected: float
+    measured: float
+    tolerance: float  # absolute
+    ok: bool
+
+    def render(self) -> str:
+        mark = "OK  " if self.ok else "FAIL"
+        return (
+            f"{mark} {self.name}: measured {self.measured:.3g}, "
+            f"expected {self.expected:.3g} ± {self.tolerance:.3g}"
+        )
+
+
+def _poisson_check(name: str, expected: float, measured: float, k: float = 4.0):
+    tol = k * math.sqrt(max(expected, 1.0))
+    return CalibrationCheck(
+        name=name,
+        expected=expected,
+        measured=measured,
+        tolerance=tol,
+        ok=abs(measured - expected) <= tol,
+    )
+
+
+def validate_calibration(dataset) -> list[CalibrationCheck]:
+    """Check a dataset's ground-truth statistics against its RateConfig.
+
+    Uses ground truth (injection results), not the parsed log: this is
+    a *simulator* check, not an analysis check — parsing fidelity has
+    its own tests.
+    """
+    sc = dataset.scenario
+    rates = sc.rates
+    duration_h = (sc.end - sc.start) / HOUR
+    events = dataset.events
+    checks: list[CalibrationCheck] = []
+
+    # ---- DBE volume and structure split -------------------------------
+    dbe = events.of_type(ErrorType.DBE)
+    expected_dbe = duration_h / rates.dbe_mtbf_hours
+    checks.append(_poisson_check("dbe_count", expected_dbe, len(dbe)))
+    if len(dbe) >= 20:
+        from repro.errors.event import STRUCTURE_CODES
+
+        dev = int(
+            np.count_nonzero(
+                dbe.structure == STRUCTURE_CODES[MemoryStructure.DEVICE_MEMORY]
+            )
+        )
+        share = rates.dbe_structure_split[MemoryStructure.DEVICE_MEMORY]
+        sigma = math.sqrt(share * (1 - share) / len(dbe))
+        checks.append(
+            CalibrationCheck(
+                name="dbe_device_memory_share",
+                expected=share,
+                measured=dev / len(dbe),
+                tolerance=4 * sigma,
+                ok=abs(dev / len(dbe) - share) <= 4 * sigma,
+            )
+        )
+
+    # ---- OTB era split ----------------------------------------------------
+    otb = events.of_type(ErrorType.OFF_THE_BUS)
+    if rates.otb_fix_time is not None and sc.start < rates.otb_fix_time < sc.end:
+        after = int(np.count_nonzero(otb.time >= rates.otb_fix_time))
+        expected_after = (
+            rates.otb_rate_after_fix_per_hour
+            * (sc.end - rates.otb_fix_time)
+            / HOUR
+        )
+        checks.append(_poisson_check("otb_after_fix", expected_after, after))
+
+    # ---- driver-upgrade era split --------------------------------------------
+    if sc.start < DRIVER_UPGRADE_TIME < sc.end:
+        old_after = int(
+            np.count_nonzero(
+                events.of_type(ErrorType.MCU_HALT_OLD).time
+                >= DRIVER_UPGRADE_TIME
+            )
+        )
+        new_before = int(
+            np.count_nonzero(
+                events.of_type(ErrorType.MCU_HALT_NEW).time
+                < DRIVER_UPGRADE_TIME
+            )
+        )
+        checks.append(
+            CalibrationCheck("xid59_after_upgrade", 0.0, old_after, 0.0,
+                             old_after == 0)
+        )
+        checks.append(
+            CalibrationCheck("xid62_before_upgrade", 0.0, new_before, 0.0,
+                             new_before == 0)
+        )
+
+    # ---- forbidden stream ---------------------------------------------------------
+    xid42 = len(events.of_type(ErrorType.VIDEO_PROCESSOR_DRIVER))
+    expected42 = rates.xid42_expected_total
+    checks.append(_poisson_check("xid42_count", expected42, xid42))
+
+    # ---- driver Poisson streams -----------------------------------------------------
+    for name, etype, rate_attr in (
+        ("xid43_count", ErrorType.GPU_STOPPED, "xid43_rate_per_hour"),
+        ("xid44_count", ErrorType.CTXSW_FAULT, "xid44_rate_per_hour"),
+    ):
+        # 43 includes cascade children of XID 13; subtract the expected
+        # child volume using ground-truth parent links.
+        stream = events.of_type(etype)
+        parents_only = stream.select(stream.parent < 0)
+        expected = getattr(rates, rate_attr) * duration_h
+        checks.append(_poisson_check(name, expected, len(parents_only)))
+
+    # ---- SBE population ---------------------------------------------------------------
+    prone_configured = int(np.count_nonzero(dataset.fleet.sbe_proneness))
+    cards_with_sbe = int(np.count_nonzero(dataset.sbe_by_slot))
+    checks.append(
+        CalibrationCheck(
+            name="sbe_cards_within_prone_population",
+            expected=float(prone_configured),
+            measured=float(cards_with_sbe),
+            tolerance=float(prone_configured),
+            ok=cards_with_sbe <= prone_configured + len(
+                dataset.fleet.removed_serials
+            ),
+        )
+    )
+    return checks

@@ -1,0 +1,51 @@
+"""NVIDIA Tesla K20X GPU model.
+
+Implements the architectural facts the paper's analyses rest on:
+
+* the memory-structure inventory with sizes and ECC protection
+  (SECDED on device memory / L2 / L1 / shared / register file, parity
+  on the read-only cache, nothing on queues and schedulers);
+* SECDED semantics — single-bit errors are corrected transparently,
+  double-bit errors are detected and *always* crash the running
+  application;
+* dynamic page retirement — a device-memory page is marked for
+  retirement after one DBE or two SBEs on the same page, persisted to
+  the InfoROM and blacklisted at the next driver load;
+* the InfoROM's real-world logging quirks (DBE counts lost when a node
+  dies before the write completes; occasional DBE>SBE inconsistency),
+  which the paper's Observation 2 is about.
+"""
+
+from repro.gpu.k20x import (
+    K20X,
+    MemoryStructure,
+    Protection,
+    StructureSpec,
+)
+from repro.gpu.ecc import EccEngine, EccOutcome, PageRetirementTracker
+from repro.gpu.inforom import InfoROM
+from repro.gpu.avf import FlipOutcomeMix, SdcExposure, flip_outcome_mix, sdc_exposure
+from repro.gpu.card import CardState, GPUCard
+from repro.gpu.hotspare import StressResult, StressTestCampaign, StressVerdict
+from repro.gpu.fleet import GPUFleet
+
+__all__ = [
+    "K20X",
+    "MemoryStructure",
+    "Protection",
+    "StructureSpec",
+    "EccEngine",
+    "EccOutcome",
+    "PageRetirementTracker",
+    "InfoROM",
+    "CardState",
+    "GPUCard",
+    "GPUFleet",
+    "FlipOutcomeMix",
+    "SdcExposure",
+    "flip_outcome_mix",
+    "sdc_exposure",
+    "StressResult",
+    "StressTestCampaign",
+    "StressVerdict",
+]

@@ -1,0 +1,163 @@
+"""Raw-flip outcome accounting and silent-data-corruption exposure.
+
+Section 2.1: "logic, queues, the thread block scheduler, warp
+scheduler, instruction dispatch unit, and interconnect network are not
+ECC protected ... this opens up the possibility of a soft-error causing
+side-effects (crash or silent data corruption), but still not being
+caught by the ECC mechanism. However, the chip area covered by an
+unprotected structure is much smaller in comparison to the caches and
+other memory structures, hence, the probability of such failure events
+is fairly low."
+
+This module makes that argument quantitative.  Given a per-bit upset
+rate, flips land on structures in proportion to their bit counts
+(plus a small unprotected-logic budget), and each flip resolves through
+the ECC machinery:
+
+* SECDED structure → corrected (an SBE counter tick);
+* parity structure → detected, invalidate-and-refetch;
+* unprotected bits → architectural vulnerability: a ``derating``
+  fraction of flips lands on live state and becomes potential SDC.
+
+Outputs are the outcome mix per flip and fleet-level exposure rates —
+including the mean time to (undetected) silent corruption, the number
+exascale planners actually need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.ecc import EccEngine, EccOutcome
+from repro.gpu.k20x import K20X, K20XSpec
+from repro.units import HOUR
+
+__all__ = ["FlipOutcomeMix", "flip_outcome_mix", "SdcExposure", "sdc_exposure"]
+
+#: Default unprotected-state budget: schedulers, queues, dispatch and
+#: interconnect state.  A few megabits of flip-flops/latches — orders of
+#: magnitude below the protected arrays, per the paper's argument.
+DEFAULT_UNPROTECTED_BITS: int = 4 * 1024 * 1024
+
+#: Fraction of unprotected bits that are architecturally live (ACE):
+#: a flip in a dead or masked bit does nothing.
+DEFAULT_DERATING: float = 0.15
+
+
+@dataclass(frozen=True)
+class FlipOutcomeMix:
+    """Per-raw-flip outcome probabilities (sum to 1)."""
+
+    corrected: float
+    detected_crash: float
+    parity_refetch: float
+    potential_sdc: float
+    masked: float  # unprotected but architecturally dead
+
+    def total(self) -> float:
+        return (
+            self.corrected
+            + self.detected_crash
+            + self.parity_refetch
+            + self.potential_sdc
+            + self.masked
+        )
+
+
+def flip_outcome_mix(
+    spec: K20XSpec = K20X,
+    *,
+    unprotected_bits: int = DEFAULT_UNPROTECTED_BITS,
+    derating: float = DEFAULT_DERATING,
+    double_bit_fraction: float = 0.02,
+) -> FlipOutcomeMix:
+    """Resolve a uniformly-landing raw flip through the ECC machinery.
+
+    ``double_bit_fraction`` is the share of upset events that flip two
+    bits of one ECC word (multi-cell upsets); those become DBEs on
+    SECDED structures.
+    """
+    if unprotected_bits < 0:
+        raise ValueError("unprotected bit budget must be non-negative")
+    if not 0 <= derating <= 1:
+        raise ValueError("derating must be a probability")
+    if not 0 <= double_bit_fraction < 1:
+        raise ValueError("double_bit_fraction must be in [0, 1)")
+    engine = EccEngine(spec)
+    weights: list[tuple[EccOutcome | str, float]] = []
+    for structure, sspec in spec.structures.items():
+        single = engine.classify(structure, 1)
+        double = engine.classify(structure, 2)
+        weights.append((single, sspec.bits * (1.0 - double_bit_fraction)))
+        weights.append((double, sspec.bits * double_bit_fraction))
+    weights.append(("unprotected", float(unprotected_bits)))
+
+    total = sum(w for _, w in weights)
+    corrected = detected = parity = 0.0
+    unprotected = 0.0
+    for outcome, weight in weights:
+        p = weight / total
+        if outcome is EccOutcome.CORRECTED:
+            corrected += p
+        elif outcome is EccOutcome.DETECTED_UNCORRECTED:
+            detected += p
+        elif outcome is EccOutcome.PARITY_DETECTED:
+            parity += p
+        elif outcome is EccOutcome.UNDETECTED:
+            unprotected += p  # parity misses (even flips) count as SDC-risk
+        else:  # "unprotected"
+            unprotected += p
+    return FlipOutcomeMix(
+        corrected=corrected,
+        detected_crash=detected,
+        parity_refetch=parity,
+        potential_sdc=unprotected * derating,
+        masked=unprotected * (1.0 - derating),
+    )
+
+
+@dataclass(frozen=True)
+class SdcExposure:
+    """Fleet-level exposure rates derived from an outcome mix."""
+
+    flips_per_gpu_hour: float
+    corrected_per_gpu_hour: float
+    crashes_per_gpu_hour: float
+    sdc_per_gpu_hour: float
+    fleet_mtbf_crash_hours: float
+    fleet_mtt_sdc_hours: float
+
+    @property
+    def sdc_to_crash_ratio(self) -> float:
+        """Silent corruptions per detected crash — the headline risk
+        ratio (small, per the paper's area argument)."""
+        if self.crashes_per_gpu_hour == 0:
+            return 0.0
+        return self.sdc_per_gpu_hour / self.crashes_per_gpu_hour
+
+
+def sdc_exposure(
+    mix: FlipOutcomeMix,
+    *,
+    flips_per_gpu_hour: float,
+    fleet_size: int = 18_688,
+) -> SdcExposure:
+    """Scale an outcome mix by a raw upset rate and a fleet size."""
+    if flips_per_gpu_hour <= 0:
+        raise ValueError("flip rate must be positive")
+    if fleet_size <= 0:
+        raise ValueError("fleet size must be positive")
+    crashes = flips_per_gpu_hour * mix.detected_crash
+    sdc = flips_per_gpu_hour * mix.potential_sdc
+    return SdcExposure(
+        flips_per_gpu_hour=flips_per_gpu_hour,
+        corrected_per_gpu_hour=flips_per_gpu_hour * mix.corrected,
+        crashes_per_gpu_hour=crashes,
+        sdc_per_gpu_hour=sdc,
+        fleet_mtbf_crash_hours=(
+            float("inf") if crashes == 0 else 1.0 / (crashes * fleet_size)
+        ),
+        fleet_mtt_sdc_hours=(
+            float("inf") if sdc == 0 else 1.0 / (sdc * fleet_size)
+        ),
+    )

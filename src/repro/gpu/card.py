@@ -1,0 +1,149 @@
+"""A single GPU card: identity, propensities, counters, lifecycle.
+
+Cards are *not* interchangeable — the paper's central SBE finding
+(Observation 10) is that fewer than 5 % of cards ever see an SBE and a
+handful of "offender" cards dominate the counts.  Each card therefore
+carries:
+
+* an immutable **serial number** (survives slot moves);
+* an inherent **SBE proneness** multiplier (heavy-tailed across the
+  fleet; assigned by :class:`~repro.gpu.fleet.GPUFleet`);
+* a **DBE fragility** multiplier (mild card-to-card variation);
+* SECDED/page-retirement state and an InfoROM ledger;
+* an operational **lifecycle**: production → hot-spare (after hitting
+  the DBE threshold; OLCF stress-tests such cards off the floor) →
+  returned-to-vendor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.gpu.ecc import PageRetirementTracker, RetirementRecord
+from repro.gpu.inforom import InfoROM
+from repro.gpu.k20x import K20X, K20XSpec, MemoryStructure
+
+__all__ = ["CardState", "GPUCard"]
+
+
+class CardState(enum.Enum):
+    """Operational lifecycle of a card."""
+
+    PRODUCTION = "production"
+    HOT_SPARE = "hot_spare"  # pulled from the floor, under stress test
+    RETURNED = "returned"  # RMA'd to the vendor
+
+
+@dataclass
+class GPUCard:
+    """Mutable per-card state.
+
+    Parameters
+    ----------
+    serial:
+        Unique card serial (stable across slot moves).
+    sbe_proneness:
+        Multiplier on the fleet base SBE rate (0 for the healthy
+        majority, large for offenders).
+    dbe_fragility:
+        Multiplier on the fleet base DBE rate.
+    retirement_active_from:
+        When the page-retirement-capable driver reached this card.
+    """
+
+    serial: int
+    sbe_proneness: float = 0.0
+    dbe_fragility: float = 1.0
+    retirement_active_from: float = 0.0
+    spec: K20XSpec = field(default=K20X)
+    state: CardState = CardState.PRODUCTION
+    inforom: InfoROM = field(default_factory=InfoROM)
+    dbe_events: list[float] = field(default_factory=list)
+    otb_events: list[float] = field(default_factory=list)
+    _retirement: PageRetirementTracker | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sbe_proneness < 0:
+            raise ValueError("sbe_proneness must be non-negative")
+        if self.dbe_fragility <= 0:
+            raise ValueError("dbe_fragility must be positive")
+        if self._retirement is None:
+            self._retirement = PageRetirementTracker(
+                active_from=self.retirement_active_from, spec=self.spec
+            )
+
+    @property
+    def retirement(self) -> PageRetirementTracker:
+        assert self._retirement is not None
+        return self._retirement
+
+    @property
+    def in_production(self) -> bool:
+        return self.state is CardState.PRODUCTION
+
+    @property
+    def n_dbe(self) -> int:
+        """Ground-truth DBE count (console-log view, not InfoROM view)."""
+        return len(self.dbe_events)
+
+    # -- error application ---------------------------------------------------
+
+    def apply_sbe(
+        self, structure: MemoryStructure, page: int, timestamp: float
+    ) -> RetirementRecord | None:
+        """Apply one corrected SBE; returns a retirement record when this
+        is the second SBE on a device-memory page."""
+        self.inforom.record_sbe(structure)
+        if structure is not MemoryStructure.DEVICE_MEMORY:
+            return None
+        record = self.retirement.record_sbe(page, timestamp)
+        if record is not None:
+            self.inforom.record_retired_page(record.page)
+        return record
+
+    def apply_dbe(
+        self,
+        structure: MemoryStructure,
+        page: int,
+        timestamp: float,
+        *,
+        u_loss: float,
+        u_double: float,
+    ) -> RetirementRecord | None:
+        """Apply one DBE.
+
+        Records the ground-truth event, races the InfoROM write, and —
+        for device-memory DBEs — drives page retirement.  Returns the
+        retirement record if a page retired.
+        """
+        self.dbe_events.append(timestamp)
+        self.inforom.record_dbe(structure, u_loss=u_loss, u_double=u_double)
+        if structure is not MemoryStructure.DEVICE_MEMORY:
+            return None
+        record = self.retirement.record_dbe(page, timestamp)
+        if record is not None:
+            self.inforom.record_retired_page(record.page)
+        return record
+
+    def apply_off_the_bus(self, timestamp: float) -> None:
+        """Record an Off-the-bus event (host lost the card)."""
+        self.otb_events.append(timestamp)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def move_to_hot_spare(self) -> None:
+        """Pull the card from production into the hot-spare test cluster."""
+        if self.state is not CardState.PRODUCTION:
+            raise ValueError(f"cannot hot-spare a card in state {self.state}")
+        self.state = CardState.HOT_SPARE
+
+    def return_to_vendor(self) -> None:
+        """RMA a hot-spare card after it reproduces failures under stress."""
+        if self.state is not CardState.HOT_SPARE:
+            raise ValueError("cards are returned only from the hot-spare cluster")
+        self.state = CardState.RETURNED
+
+    def exceeds_dbe_threshold(self, threshold: int) -> bool:
+        """OLCF policy: cards crossing the DBE threshold leave the floor."""
+        return self.n_dbe >= threshold

@@ -1,0 +1,163 @@
+"""SECDED ECC semantics and the dynamic page-retirement state machine.
+
+SECDED (single-error-correct, double-error-detect) behaviour per the
+paper, Section 2.1/3.1:
+
+* a **single-bit error** is corrected in place; execution continues and
+  only a counter ticks;
+* a **double-bit error** is detected but uncorrectable; the driver
+  *always* terminates the running application because correct execution
+  can no longer be guaranteed;
+* a read-only-cache **parity error** is detected (not corrected) and
+  handled by invalidate-and-refetch, so it does not crash.
+
+Page retirement (Section 3.1, Fig. 6–8): a device-memory page is marked
+for retirement after (1) one DBE on the page, or (2) two SBEs on the
+same page.  The page address is persisted in the InfoROM; on the next
+driver load the framebuffer blacklists it.  Case (1) crashes the
+application (because the DBE itself does); case (2) does not.
+The feature only exists after the driver upgrade of **Jan'2014** — the
+tracker is constructed with an ``active_from`` timestamp and ignores
+everything before it, reproducing Fig. 6's onset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.gpu.k20x import K20X, K20XSpec, MemoryStructure, Protection
+
+__all__ = ["EccOutcome", "EccEngine", "RetirementRecord", "PageRetirementTracker"]
+
+
+class EccOutcome(enum.Enum):
+    """What the ECC machinery did with a raw bit flip."""
+
+    CORRECTED = "corrected"  # SBE under SECDED
+    DETECTED_UNCORRECTED = "detected_uncorrected"  # DBE under SECDED -> crash
+    PARITY_DETECTED = "parity_detected"  # read-only cache, refetch
+    UNDETECTED = "undetected"  # unprotected structure: potential SDC
+
+
+class EccEngine:
+    """Pure-function classification of bit errors by structure."""
+
+    def __init__(self, spec: K20XSpec = K20X) -> None:
+        self.spec = spec
+
+    def classify(self, structure: MemoryStructure, bits: int) -> EccOutcome:
+        """Outcome for a ``bits``-bit error in ``structure``.
+
+        ``bits`` is the number of flipped bits within one ECC word
+        (1 = SBE, 2 = DBE; ≥3 is treated as detected-uncorrected, the
+        conservative behaviour of SECDED for multi-bit patterns that
+        alias to detectable syndromes).
+        """
+        if bits < 1:
+            raise ValueError("bit-error width must be >= 1")
+        protection = self.spec.structures[structure].protection
+        if protection is Protection.SECDED:
+            return EccOutcome.CORRECTED if bits == 1 else (
+                EccOutcome.DETECTED_UNCORRECTED
+            )
+        if protection is Protection.PARITY:
+            # Parity detects odd numbers of flips only.
+            if bits % 2 == 1:
+                return EccOutcome.PARITY_DETECTED
+            return EccOutcome.UNDETECTED
+        return EccOutcome.UNDETECTED
+
+    def crashes_application(self, outcome: EccOutcome) -> bool:
+        """Does this outcome terminate the running application?"""
+        return outcome is EccOutcome.DETECTED_UNCORRECTED
+
+
+@dataclass(frozen=True, slots=True)
+class RetirementRecord:
+    """One retired page, as persisted in the InfoROM."""
+
+    page: int
+    timestamp: float
+    cause: str  # "dbe" or "double_sbe"
+
+
+@dataclass
+class PageRetirementTracker:
+    """Per-card dynamic page retirement state machine.
+
+    Parameters
+    ----------
+    active_from:
+        Simulator timestamp at which the driver supporting retirement
+        was deployed (Jan'2014 on Titan).  Errors before it are counted
+        but never retire pages, matching Fig. 6.
+    max_retired_pages:
+        InfoROM capacity; the real driver stops retiring beyond ~64
+        pages and flags the card for RMA.
+    """
+
+    active_from: float
+    max_retired_pages: int = 64
+    spec: K20XSpec = field(default=K20X)
+    _sbe_pages: dict[int, int] = field(default_factory=dict)
+    _retired: dict[int, RetirementRecord] = field(default_factory=dict)
+
+    @property
+    def retired_pages(self) -> tuple[RetirementRecord, ...]:
+        """Retirement records in retirement order."""
+        return tuple(self._retired.values())
+
+    @property
+    def n_retired(self) -> int:
+        return len(self._retired)
+
+    @property
+    def capacity_exhausted(self) -> bool:
+        """True once the card should be pulled for RMA."""
+        return self.n_retired >= self.max_retired_pages
+
+    def is_retired(self, page: int) -> bool:
+        return page in self._retired
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.spec.n_device_pages:
+            raise ValueError(f"page out of range: {page}")
+
+    def record_sbe(self, page: int, timestamp: float) -> RetirementRecord | None:
+        """Record a corrected SBE on a device-memory page.
+
+        Returns a :class:`RetirementRecord` if this SBE is the second on
+        the page and triggers retirement (the non-crashing path), else
+        ``None``.
+        """
+        self._check_page(page)
+        if page in self._retired:
+            return None
+        count = self._sbe_pages.get(page, 0) + 1
+        self._sbe_pages[page] = count
+        if (
+            timestamp >= self.active_from
+            and count >= 2
+            and not self.capacity_exhausted
+        ):
+            record = RetirementRecord(page, timestamp, "double_sbe")
+            self._retired[page] = record
+            return record
+        return None
+
+    def record_dbe(self, page: int, timestamp: float) -> RetirementRecord | None:
+        """Record a DBE on a device-memory page.
+
+        Retirement is immediate (when the feature is active); the crash
+        itself is the caller's concern — SECDED crashes the app whether
+        or not the page retires.
+        """
+        self._check_page(page)
+        if page in self._retired:
+            return None
+        if timestamp < self.active_from or self.capacity_exhausted:
+            return None
+        record = RetirementRecord(page, timestamp, "dbe")
+        self._retired[page] = record
+        return record

@@ -1,0 +1,171 @@
+"""The 18,688-card GPU fleet and its heterogeneity.
+
+The fleet owns card objects, the slot↔card mapping (cards move: a card
+pulled to the hot-spare cluster is replaced in its slot by a spare) and
+the fleet-wide propensity arrays the vectorized fault injectors consume.
+
+**SBE heterogeneity.**  Per the paper (Observation 10 and Figs. 14–15):
+fewer than 1000 of 18,688 cards (<5 %) ever experience an SBE, the
+distribution over those cards is highly skewed (top-10 / top-50
+offenders dominate), and the offender property belongs to the *card*,
+not its location.  We model per-card proneness as zero for the healthy
+majority and log-normal (heavy-tailed) for a ~900-card susceptible
+subpopulation.
+
+**DBE fragility.**  Mild log-normal card-to-card variation; combined
+with the thermal gradient it yields the cage skew of Fig. 3(b) while
+keeping DBEs non-bursty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.card import CardState, GPUCard
+from repro.gpu.k20x import K20X, K20XSpec
+
+__all__ = ["GPUFleet"]
+
+
+class GPUFleet:
+    """All cards installed in (or retired from) Titan's GPU slots.
+
+    Parameters
+    ----------
+    n_slots:
+        Number of GPU slots (Titan: 18,688).
+    rng:
+        Generator for propensity assignment (and for spares created
+        later by :meth:`replace_card`).
+    n_sbe_prone:
+        Size of the SBE-susceptible subpopulation.
+    sbe_lognormal_sigma:
+        Tail heaviness of offender proneness; 2.4 reproduces the paper's
+        top-10/top-50 dominance.
+    retirement_active_from:
+        Timestamp of the page-retirement driver rollout (Jan'2014).
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        rng: np.random.Generator,
+        *,
+        n_sbe_prone: int = 900,
+        sbe_lognormal_sigma: float = 2.4,
+        dbe_fragility_sigma: float = 0.35,
+        retirement_active_from: float = 0.0,
+        spec: K20XSpec = K20X,
+    ) -> None:
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if n_sbe_prone > n_slots:
+            raise ValueError("cannot have more SBE-prone cards than slots")
+        self.n_slots = int(n_slots)
+        self.spec = spec
+        self._rng = rng
+        self._retirement_active_from = float(retirement_active_from)
+        self._dbe_fragility_sigma = float(dbe_fragility_sigma)
+        self._sbe_lognormal_sigma = float(sbe_lognormal_sigma)
+
+        # Propensities for the initial card population.
+        proneness = np.zeros(n_slots, dtype=np.float64)
+        prone_slots = rng.choice(n_slots, size=n_sbe_prone, replace=False)
+        proneness[prone_slots] = rng.lognormal(
+            mean=0.0, sigma=sbe_lognormal_sigma, size=n_sbe_prone
+        )
+        fragility = rng.lognormal(
+            mean=-0.5 * dbe_fragility_sigma**2,  # unit-mean log-normal
+            sigma=dbe_fragility_sigma,
+            size=n_slots,
+        )
+
+        self._cards: dict[int, GPUCard] = {}
+        self._slot_serial = np.arange(n_slots, dtype=np.int64)
+        self._next_serial = n_slots
+        for slot in range(n_slots):
+            self._cards[slot] = GPUCard(
+                serial=slot,
+                sbe_proneness=float(proneness[slot]),
+                dbe_fragility=float(fragility[slot]),
+                retirement_active_from=self._retirement_active_from,
+                spec=spec,
+            )
+
+        # Cached per-slot propensity arrays (invalidated on card swap).
+        self._proneness_by_slot = proneness
+        self._fragility_by_slot = fragility
+        self.removed_serials: list[int] = []
+
+    # -- card access -----------------------------------------------------------
+
+    def card_in_slot(self, slot: int) -> GPUCard:
+        """Card currently installed in ``slot`` (a GPU id)."""
+        return self._cards[int(self._slot_serial[slot])]
+
+    def card_by_serial(self, serial: int) -> GPUCard:
+        return self._cards[serial]
+
+    def serial_in_slot(self, slot: int | np.ndarray) -> np.ndarray:
+        """Serial(s) of the card(s) in the given slot(s)."""
+        return self._slot_serial[np.asarray(slot)]
+
+    @property
+    def all_cards(self) -> tuple[GPUCard, ...]:
+        """Every card ever owned, installed or not."""
+        return tuple(self._cards.values())
+
+    # -- vectorized propensity views --------------------------------------------
+
+    @property
+    def sbe_proneness(self) -> np.ndarray:
+        """Per-slot SBE proneness of the currently installed cards."""
+        return self._proneness_by_slot
+
+    @property
+    def dbe_fragility(self) -> np.ndarray:
+        """Per-slot DBE fragility of the currently installed cards."""
+        return self._fragility_by_slot
+
+    def top_offender_slots(self, k: int) -> np.ndarray:
+        """Slots of the ``k`` most SBE-prone installed cards (the fleet's
+        ground truth; the analysis toolkit estimates this from logs)."""
+        return np.argsort(self._proneness_by_slot)[::-1][:k].astype(np.int64)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def replace_card(self, slot: int) -> GPUCard:
+        """Pull the slot's card to the hot-spare cluster and install a
+        fresh spare.
+
+        The spare draws new propensities (spares are screened, so the
+        spare is never SBE-prone); returns the *new* card.
+        """
+        slot = int(slot)
+        old = self.card_in_slot(slot)
+        old.move_to_hot_spare()
+        self.removed_serials.append(old.serial)
+
+        serial = self._next_serial
+        self._next_serial += 1
+        fragility = float(
+            self._rng.lognormal(
+                mean=-0.5 * self._dbe_fragility_sigma**2,
+                sigma=self._dbe_fragility_sigma,
+            )
+        )
+        spare = GPUCard(
+            serial=serial,
+            sbe_proneness=0.0,
+            dbe_fragility=fragility,
+            retirement_active_from=self._retirement_active_from,
+            spec=self.spec,
+        )
+        self._cards[serial] = spare
+        self._slot_serial[slot] = serial
+        self._proneness_by_slot[slot] = 0.0
+        self._fragility_by_slot[slot] = fragility
+        return spare
+
+    def n_cards_in_state(self, state: CardState) -> int:
+        return sum(1 for c in self._cards.values() if c.state is state)

@@ -1,0 +1,107 @@
+"""The InfoROM: the card's persistent error ledger, quirks included.
+
+``nvidia-smi`` does not observe errors directly; it reads counters the
+driver persists to a small flash region (the InfoROM/NVML store).  The
+paper's Observation 2 is that this ledger disagrees with the console
+logs in two documented ways, both of which we model because the
+analysis toolkit must *rediscover* them:
+
+1. **Lost DBEs** — a double-bit error brings the node down; if the node
+   shuts down before the driver finishes the InfoROM write, the DBE is
+   never persisted.  The console log (written by the host-side SEC
+   pipeline) still has it, so nvidia-smi systematically *undercounts*
+   DBEs.  Confirmed by the vendor, per the paper.
+2. **DBE > SBE anomalies** — some cards report more double- than
+   single-bit errors over the same window, which is theoretically
+   implausible and attributed to logging inconsistency (e.g. replayed
+   or double-committed DBE records).
+
+Both quirks are parameterized so tests can turn them off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.k20x import MemoryStructure
+
+__all__ = ["InfoROM"]
+
+
+@dataclass
+class InfoROM:
+    """Persistent per-card error counters, as nvidia-smi would read them.
+
+    Parameters
+    ----------
+    dbe_loss_probability:
+        Chance that a DBE record is lost to the shutdown race.
+    dbe_double_commit_probability:
+        Chance that a persisted DBE is committed twice (the DBE>SBE
+        inconsistency source).
+    """
+
+    dbe_loss_probability: float = 0.3
+    dbe_double_commit_probability: float = 0.02
+    sbe_counts: dict[MemoryStructure, int] = field(default_factory=dict)
+    dbe_counts: dict[MemoryStructure, int] = field(default_factory=dict)
+    retired_page_addresses: list[int] = field(default_factory=list)
+
+    def record_sbe(self, structure: MemoryStructure, count: int = 1) -> None:
+        """Persist corrected single-bit errors (never lost: the node
+        survives an SBE, so the write always completes)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.sbe_counts[structure] = self.sbe_counts.get(structure, 0) + count
+
+    def record_dbe(
+        self,
+        structure: MemoryStructure,
+        *,
+        u_loss: float,
+        u_double: float,
+    ) -> bool:
+        """Attempt to persist a DBE through the shutdown race.
+
+        ``u_loss``/``u_double`` are uniform(0,1) draws supplied by the
+        caller (keeps this class free of RNG state).  Returns ``True``
+        if at least one record was persisted.
+        """
+        if u_loss < self.dbe_loss_probability:
+            return False  # node died before the flash write landed
+        increment = 2 if u_double < self.dbe_double_commit_probability else 1
+        self.dbe_counts[structure] = self.dbe_counts.get(structure, 0) + increment
+        return True
+
+    def record_retired_page(self, page_address: int) -> None:
+        self.retired_page_addresses.append(page_address)
+
+    # -- queries (the nvidia-smi read side) ---------------------------------
+
+    @property
+    def total_sbe(self) -> int:
+        return sum(self.sbe_counts.values())
+
+    @property
+    def total_dbe(self) -> int:
+        return sum(self.dbe_counts.values())
+
+    @property
+    def n_retired_pages(self) -> int:
+        return len(self.retired_page_addresses)
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time copy of all counters (what one nvidia-smi query
+        returns).  Mutating the snapshot never touches the ledger."""
+        return {
+            "sbe": {s.value: c for s, c in self.sbe_counts.items()},
+            "dbe": {s.value: c for s, c in self.dbe_counts.items()},
+            "total_sbe": self.total_sbe,
+            "total_dbe": self.total_dbe,
+            "retired_pages": list(self.retired_page_addresses),
+        }
+
+    def is_consistent(self) -> bool:
+        """Sanity predicate the paper applies: a healthy ledger should
+        not show more DBEs than SBEs."""
+        return self.total_dbe <= max(self.total_sbe, 0) or self.total_dbe == 0

@@ -1,0 +1,143 @@
+"""Static description of the NVIDIA Tesla K20X (GK110).
+
+Numbers follow Section 2.1 of the paper:
+
+* 14 SMs × 192 CUDA cores = 2688 cores, 28 nm;
+* per SM: 64 K 32-bit registers, 64 KB shared-memory/L1, 48 KB
+  read-only data cache;
+* shared: 1536 KB L2, 6 GB GDDR5 device memory;
+* 3.95 / 1.31 Tflops SP/DP peak.
+
+Protection map (Section 2.1): register files, shared memory, L1 and L2
+are SECDED ECC protected; the read-only data cache is parity protected;
+device memory is SECDED; logic, queues, schedulers and the interconnect
+are unprotected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["MemoryStructure", "Protection", "StructureSpec", "K20XSpec", "K20X"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+class MemoryStructure(enum.Enum):
+    """GPU memory structures that can host bit errors."""
+
+    DEVICE_MEMORY = "device_memory"
+    L2_CACHE = "l2_cache"
+    L1_CACHE = "l1_cache"
+    SHARED_MEMORY = "shared_memory"
+    REGISTER_FILE = "register_file"
+    READONLY_CACHE = "readonly_cache"
+    TEXTURE_MEMORY = "texture_memory"
+
+    def __str__(self) -> str:  # used in log lines and reports
+        return self.value
+
+
+class Protection(enum.Enum):
+    """Error-protection scheme covering a structure."""
+
+    SECDED = "secded"  # corrects 1-bit, detects 2-bit
+    PARITY = "parity"  # detects 1-bit
+    NONE = "none"
+
+
+@dataclass(frozen=True, slots=True)
+class StructureSpec:
+    """Size and protection of one memory structure."""
+
+    structure: MemoryStructure
+    bytes_total: int
+    protection: Protection
+
+    @property
+    def bits(self) -> int:
+        return self.bytes_total * 8
+
+
+@dataclass(frozen=True)
+class K20XSpec:
+    """Whole-card architectural constants."""
+
+    n_sms: int = 14
+    cores_per_sm: int = 192
+    registers_per_sm: int = 64 * 1024  # 32-bit registers
+    shared_l1_per_sm_bytes: int = 64 * KB
+    readonly_cache_per_sm_bytes: int = 48 * KB
+    l2_bytes: int = 1536 * KB
+    device_memory_bytes: int = 6 * GB
+    page_bytes: int = 64 * KB  # retirement granularity used by the driver
+    process_nm: int = 28
+    peak_sp_tflops: float = 3.95
+    peak_dp_tflops: float = 1.31
+
+    @property
+    def cuda_cores(self) -> int:
+        return self.n_sms * self.cores_per_sm
+
+    @property
+    def register_file_bytes(self) -> int:
+        return self.n_sms * self.registers_per_sm * 4
+
+    @property
+    def n_device_pages(self) -> int:
+        return self.device_memory_bytes // self.page_bytes
+
+    @property
+    def structures(self) -> Mapping[MemoryStructure, StructureSpec]:
+        """Protection map of every error-hosting structure."""
+        # 64 KB/SM is split shared-memory vs L1 at kernel launch; model
+        # the static halves (48/16 split is configurable on real HW, the
+        # paper does not rely on the split so an even one suffices).
+        half = self.shared_l1_per_sm_bytes // 2
+        specs = [
+            StructureSpec(
+                MemoryStructure.DEVICE_MEMORY,
+                self.device_memory_bytes,
+                Protection.SECDED,
+            ),
+            StructureSpec(MemoryStructure.L2_CACHE, self.l2_bytes, Protection.SECDED),
+            StructureSpec(
+                MemoryStructure.L1_CACHE, self.n_sms * half, Protection.SECDED
+            ),
+            StructureSpec(
+                MemoryStructure.SHARED_MEMORY, self.n_sms * half, Protection.SECDED
+            ),
+            StructureSpec(
+                MemoryStructure.REGISTER_FILE,
+                self.register_file_bytes,
+                Protection.SECDED,
+            ),
+            StructureSpec(
+                MemoryStructure.READONLY_CACHE,
+                self.n_sms * self.readonly_cache_per_sm_bytes,
+                Protection.PARITY,
+            ),
+            # Texture memory aliases a device-memory region; nvidia-smi
+            # reports it as its own counter, so keep a nominal window.
+            StructureSpec(
+                MemoryStructure.TEXTURE_MEMORY, 48 * MB, Protection.SECDED
+            ),
+        ]
+        return MappingProxyType({s.structure: s for s in specs})
+
+    def secded_structures(self) -> tuple[MemoryStructure, ...]:
+        """Structures whose DBEs are detected (and crash the app)."""
+        return tuple(
+            s
+            for s, spec in self.structures.items()
+            if spec.protection is Protection.SECDED
+        )
+
+
+#: The one card model Titan deployed.
+K20X = K20XSpec()

@@ -1,0 +1,96 @@
+"""Persistence: save/load event logs and job traces as ``.npz``.
+
+A full 21-month simulation takes tens of seconds; downstream analyses
+(or students re-plotting figures) should not pay it again.  Columnar
+containers round-trip losslessly through compressed numpy archives:
+
+* :func:`save_event_log` / :func:`load_event_log`
+* :func:`save_job_trace` / :func:`load_job_trace`
+
+Console-log *text* needs no helper (it is a plain file), and fleet
+state intentionally has none: the InfoROM/lifecycle objects are cheap
+to regenerate and a partial reload would invite inconsistency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors.event import EventLog
+from repro.workload.jobs import JobTrace
+
+__all__ = [
+    "save_event_log",
+    "load_event_log",
+    "save_job_trace",
+    "load_job_trace",
+]
+
+_EVENT_COLUMNS = ("time", "gpu", "etype", "structure", "job", "parent", "aux")
+_TRACE_COLUMNS = (
+    "user",
+    "submit",
+    "start",
+    "end",
+    "n_nodes",
+    "gpu_util",
+    "max_memory_gb",
+    "total_memory",
+    "n_apruns",
+    "run_offsets",
+    "run_start",
+    "run_length",
+)
+_MAGIC_KEY = "_repro_format"
+_EVENT_MAGIC = "event_log_v1"
+_TRACE_MAGIC = "job_trace_v1"
+
+
+def save_event_log(log: EventLog, path: str | Path) -> Path:
+    """Write a log to a compressed ``.npz``; returns the path."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        **{name: getattr(log, name) for name in _EVENT_COLUMNS},
+        **{_MAGIC_KEY: np.asarray(_EVENT_MAGIC)},
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def _open_checked(path: str | Path, magic: str) -> np.lib.npyio.NpzFile:
+    archive = np.load(Path(path), allow_pickle=False)
+    stored = str(archive[_MAGIC_KEY]) if _MAGIC_KEY in archive else None
+    if stored != magic:
+        raise ValueError(
+            f"{path} is not a {magic} archive (found {stored!r})"
+        )
+    return archive
+
+
+def load_event_log(path: str | Path) -> EventLog:
+    """Inverse of :func:`save_event_log`."""
+    archive = _open_checked(path, _EVENT_MAGIC)
+    return EventLog(**{name: archive[name].copy() for name in _EVENT_COLUMNS})
+
+
+def save_job_trace(trace: JobTrace, path: str | Path) -> Path:
+    """Write a trace to a compressed ``.npz``; returns the path."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        **{name: getattr(trace, name) for name in _TRACE_COLUMNS},
+        **{_MAGIC_KEY: np.asarray(_TRACE_MAGIC)},
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_job_trace(path: str | Path) -> JobTrace:
+    """Inverse of :func:`save_job_trace`."""
+    archive = _open_checked(path, _TRACE_MAGIC)
+    return JobTrace(**{name: archive[name].copy() for name in _TRACE_COLUMNS})

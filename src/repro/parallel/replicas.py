@@ -1,0 +1,120 @@
+"""Replica studies: the same scenario under independent seeds.
+
+A single simulated Titan is one sample from the generative model; the
+paper's single Titan was likewise one sample from reality.  Replica
+studies quantify how much any reported statistic moves across samples —
+the error bars EXPERIMENTS.md quotes — by running N seeds (in parallel)
+and summarizing each dataset down to the headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.pool import parallel_map
+from repro.sim.scenario import Scenario
+from repro.sim.simulation import SimulationDataset, TitanSimulation
+
+__all__ = [
+    "ReplicaSummary",
+    "summarize_dataset",
+    "run_replicas",
+    "replica_confidence_intervals",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaSummary:
+    """Headline statistics of one simulated study."""
+
+    seed: int
+    statistics: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.statistics[key]
+
+
+def summarize_dataset(dataset: SimulationDataset) -> dict[str, float]:
+    """Reduce one dataset to the headline statistics of the study.
+
+    Uses the observable pipeline (parsed log, nvsmi, snapshots) exactly
+    like :class:`~repro.core.study.TitanStudy`.
+    """
+    from repro.core.study import TitanStudy
+
+    study = TitanStudy(dataset)
+    fig2 = study.fig2()
+    fig14 = study.fig14()
+    report = study.figs16_19()
+    out: dict[str, float] = {
+        "dbe_total": float(fig2.total),
+        "otb_total": float(study.fig4().total),
+        "retirements": float(study.fig6().total),
+        "sbe_cards": float(fig14.n_cards_with_sbe),
+        "sbe_fraction": float(fig14.fleet_fraction_with_sbe),
+        "sbe_skew_all": float(fig14.skewness["all"]),
+        "sbe_skew_minus50": float(fig14.skewness["minus_top50"]),
+        "spearman_core_hours": float(
+            report.all_jobs["gpu_core_hours"].spearman
+        ),
+        "spearman_nodes": float(report.all_jobs["n_nodes"].spearman),
+        "spearman_max_memory": float(
+            report.all_jobs["max_memory_gb"].spearman
+        ),
+    }
+    if fig2.mtbf_hours is not None:
+        out["dbe_mtbf_hours"] = float(fig2.mtbf_hours)
+    try:
+        out["spearman_users"] = float(study.fig20().all_users.spearman)
+    except ValueError:  # no snapshot records in tiny scenarios
+        pass
+    return out
+
+
+def _run_one(scenario: Scenario) -> ReplicaSummary:
+    dataset = TitanSimulation(scenario).run()
+    return ReplicaSummary(seed=scenario.seed, statistics=summarize_dataset(dataset))
+
+
+def run_replicas(
+    base: Scenario,
+    seeds: list[int],
+    *,
+    n_workers: int = 1,
+) -> list[ReplicaSummary]:
+    """Simulate and summarize one replica per seed (optionally in
+    parallel processes)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    scenarios = [base.evolve(seed=int(s)) for s in seeds]
+    return parallel_map(_run_one, scenarios, n_workers=n_workers)
+
+
+def replica_confidence_intervals(
+    summaries: list[ReplicaSummary],
+    *,
+    confidence: float = 0.9,
+) -> dict[str, tuple[float, float, float]]:
+    """Per-statistic ``(low, median, high)`` across replicas.
+
+    Only statistics present in *every* replica are reported.
+    """
+    if not summaries:
+        raise ValueError("no replicas")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    common = set(summaries[0].statistics)
+    for s in summaries[1:]:
+        common &= set(s.statistics)
+    alpha = (1.0 - confidence) / 2.0
+    out = {}
+    for key in sorted(common):
+        values = np.asarray([s[key] for s in summaries])
+        out[key] = (
+            float(np.quantile(values, alpha)),
+            float(np.median(values)),
+            float(np.quantile(values, 1.0 - alpha)),
+        )
+    return out

@@ -1,0 +1,39 @@
+"""Checkpoint/restart resilience modeling.
+
+The paper's framing (Section 1): "HPC workloads are typically fairly
+long running simulations that often rely on checkpointing mechanisms to
+continue making forward progress even in the case of failures.
+Therefore, understanding the characteristics of GPU related errors ...
+are likely to benefit both system operators, designers, and end users."
+This subpackage closes that loop — it turns the study's measured
+failure characteristics into checkpoint-policy decisions:
+
+* :mod:`daly` — the Young/Daly optimal-interval theory and efficiency
+  model;
+* :mod:`appsim` — an event-driven single-application simulator that
+  replays checkpoint/restart against any failure process;
+* :mod:`lazy` — hazard-aware ("lazy") checkpointing that exploits the
+  temporal locality of failures, after the authors' companion DSN'14
+  work [32]: under clustered (Weibull shape < 1) failures, stretching
+  intervals while the hazard is low beats any fixed interval.
+"""
+
+from repro.resilience.daly import (
+    daly_efficiency,
+    daly_optimal_interval,
+    effective_application_mtbf,
+    young_optimal_interval,
+)
+from repro.resilience.appsim import AppRunResult, simulate_run
+from repro.resilience.lazy import HazardAwarePolicy, FixedIntervalPolicy
+
+__all__ = [
+    "daly_optimal_interval",
+    "young_optimal_interval",
+    "daly_efficiency",
+    "effective_application_mtbf",
+    "AppRunResult",
+    "simulate_run",
+    "FixedIntervalPolicy",
+    "HazardAwarePolicy",
+]

@@ -1,0 +1,18 @@
+"""End-to-end simulation of the Titan study.
+
+:class:`~repro.sim.scenario.Scenario` bundles every knob (seed, fault
+rates, workload shape, study window); :class:`~repro.sim.simulation.
+TitanSimulation` runs topology → fleet → workload → faults → telemetry
+and returns a :class:`~repro.sim.simulation.SimulationDataset` holding
+both the *observable* artifacts (console-log text, nvidia-smi tables,
+job-snapshot records, job accounting) and the *ground truth* the tests
+use for validation.
+
+``default_dataset()`` memoizes the canonical paper scenario so tests,
+examples and benchmarks share one simulation per process.
+"""
+
+from repro.sim.scenario import Scenario
+from repro.sim.simulation import SimulationDataset, TitanSimulation, default_dataset
+
+__all__ = ["Scenario", "SimulationDataset", "TitanSimulation", "default_dataset"]

@@ -1,0 +1,212 @@
+"""TitanSimulation: one call from scenario to analyzable dataset.
+
+The simulation is staged exactly as DESIGN.md's dataflow describes:
+
+1. build the machine (folded or unfolded cabling), thermal model and
+   card fleet;
+2. generate and schedule the 21-month workload;
+3. run all fault injectors (hardware → software → cascades → SBE);
+4. render the console log *text* and parse it back through the SEC
+   rules — the analyses consume the round-tripped log, never the
+   injector's in-memory events;
+5. expose nvidia-smi fleet tables and per-job snapshot records.
+
+Heavy artifacts (log text, parsed log, nvsmi table, snapshot records)
+are materialized lazily and cached on the dataset.  ``default_dataset``
+memoizes whole datasets per scenario so a test session or benchmark run
+simulates each configuration once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors.event import EventLog
+from repro.faults.injector import FaultInjector, InjectionResult
+from repro.gpu.fleet import GPUFleet
+from repro.rng import RngTree
+from repro.sim.scenario import Scenario
+from repro.telemetry.console import ConsoleLogWriter
+from repro.telemetry.jobsnap import JobSnapshotFramework, JobSnapshotRecord
+from repro.telemetry.nvsmi import NvidiaSmi
+from repro.telemetry.parser import ConsoleLogParser, ParseStats
+from repro.telemetry.raslog import NodeStateLog, RepairModel
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.jobs import JobTrace
+from repro.workload.lookup import JobLocator
+from repro.workload.users import UserPopulation
+
+__all__ = ["TitanSimulation", "SimulationDataset", "default_dataset"]
+
+
+@dataclass
+class SimulationDataset:
+    """Everything one simulated Titan study produced.
+
+    Observable artifacts (what the paper's authors had):
+    ``console_text`` / ``parsed_events``, ``nvsmi`` tables,
+    ``jobsnap_records``, and the job accounting in ``trace``.
+    Ground truth (for validation only): ``injection`` and ``fleet``.
+    """
+
+    scenario: Scenario
+    machine: TitanMachine
+    fleet: GPUFleet
+    thermal: ThermalModel
+    users: UserPopulation
+    trace: JobTrace
+    injection: InjectionResult
+    nvsmi: NvidiaSmi
+    _console_text: Optional[str] = field(default=None, repr=False)
+    _parsed: Optional[tuple[EventLog, ParseStats]] = field(default=None, repr=False)
+    _nvsmi_table: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
+    _jobsnap: Optional[list[JobSnapshotRecord]] = field(default=None, repr=False)
+    _locator: Optional[JobLocator] = field(default=None, repr=False)
+    _node_state: Optional[NodeStateLog] = field(default=None, repr=False)
+
+    # -- observable artifacts ------------------------------------------------
+
+    @property
+    def console_text(self) -> str:
+        """The rendered console log (lazily materialized)."""
+        if self._console_text is None:
+            writer = ConsoleLogWriter(self.machine)
+            self._console_text = writer.to_text(self.injection.events)
+        return self._console_text
+
+    @property
+    def parsed_events(self) -> EventLog:
+        """Console events as the analysis sees them: text → SEC → log,
+        time-sorted, with no parent annotations."""
+        return self._parse()[0]
+
+    @property
+    def parse_stats(self) -> ParseStats:
+        return self._parse()[1]
+
+    def _parse(self) -> tuple[EventLog, ParseStats]:
+        if self._parsed is None:
+            parser = ConsoleLogParser(self.machine)
+            log, stats = parser.parse_text(self.console_text)
+            self._parsed = (log.sorted_by_time(), stats)
+        return self._parsed
+
+    @property
+    def nvsmi_table(self) -> dict[str, np.ndarray]:
+        """Fleet-wide nvidia-smi snapshot at end of study."""
+        if self._nvsmi_table is None:
+            self._nvsmi_table = self.nvsmi.query_fleet()
+        return self._nvsmi_table
+
+    @property
+    def jobsnap_records(self) -> list[JobSnapshotRecord]:
+        """Per-job before/after snapshot records (the Figs. 16–20 data)."""
+        if self._jobsnap is None:
+            framework = JobSnapshotFramework(self.scenario.jobsnap_deployed_at)
+            self._jobsnap = framework.collect(
+                self.trace, self.injection.sbe_by_job
+            )
+        return self._jobsnap
+
+    @property
+    def node_state_log(self) -> NodeStateLog:
+        """Downtime intervals around crashing hardware errors (the RAS
+        stream; lazily derived, deterministic per scenario seed)."""
+        if self._node_state is None:
+            rng = RngTree(self.scenario.seed).fresh_generator("repair")
+            self._node_state = RepairModel(rng).apply(self.injection.events)
+        return self._node_state
+
+    @property
+    def locator(self) -> JobLocator:
+        if self._locator is None:
+            self._locator = JobLocator(self.trace, self.machine.allocation_rank)
+        return self._locator
+
+    # -- ground truth helpers used by tests ------------------------------------
+
+    @property
+    def events(self) -> EventLog:
+        """Ground-truth event log (with parent links)."""
+        return self.injection.events
+
+    @property
+    def sbe_by_slot(self) -> np.ndarray:
+        return self.injection.sbe_by_slot
+
+    @property
+    def sbe_by_job(self) -> np.ndarray:
+        return self.injection.sbe_by_job
+
+
+class TitanSimulation:
+    """Runs one scenario end to end."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        scenario.validate()
+        self.scenario = scenario
+
+    def run(self) -> SimulationDataset:
+        sc = self.scenario
+        tree = RngTree(sc.seed)
+        machine = TitanMachine(folded_torus=sc.folded_torus)
+        thermal = ThermalModel(
+            machine.cage,
+            tree.fresh_generator("thermal"),
+            enabled=sc.rates.thermal_enabled,
+        )
+        fleet = GPUFleet(
+            machine.n_gpus,
+            tree.generator("fleet"),
+            retirement_active_from=sc.rates.retirement_active_from,
+        )
+        generator = WorkloadGenerator(
+            sc.workload, tree.fresh_generator("workload")
+        )
+        trace = generator.generate()
+        injector = FaultInjector(
+            machine,
+            fleet,
+            thermal,
+            generator.users,
+            sc.rates,
+            tree.fresh_generator("faults.hardware"),
+            tree.fresh_generator("faults.software"),
+            tree.fresh_generator("faults.sbe"),
+            tree.fresh_generator("faults.cascade"),
+        )
+        injection = injector.run(trace, sc.start, sc.end)
+        nvsmi = NvidiaSmi(fleet, thermal)
+        return SimulationDataset(
+            scenario=sc,
+            machine=machine,
+            fleet=fleet,
+            thermal=thermal,
+            users=generator.users,
+            trace=trace,
+            injection=injection,
+            nvsmi=nvsmi,
+        )
+
+
+_DATASET_CACHE: dict[str, SimulationDataset] = {}
+
+
+def default_dataset(scenario: Scenario | None = None) -> SimulationDataset:
+    """Process-wide memoized dataset for a scenario (default: paper).
+
+    Scenarios contain dict fields, so the cache keys on ``repr``, which
+    dataclasses derive from every field deterministically.
+    """
+    sc = scenario if scenario is not None else Scenario.paper()
+    key = repr(sc)
+    cached = _DATASET_CACHE.get(key)
+    if cached is None:
+        cached = TitanSimulation(sc).run()
+        _DATASET_CACHE[key] = cached
+    return cached

@@ -1,0 +1,53 @@
+"""Telemetry: how errors become *data* — console logs, SEC, nvidia-smi.
+
+The paper's analyses never see the machine directly; they see
+
+* **console logs** parsed by simple event correlators (SEC) on the
+  system management workstation — :mod:`console` renders events to
+  Titan-style log text, :mod:`sec` holds the classification rules, and
+  :mod:`parser` turns log text back into an
+  :class:`~repro.errors.event.EventLog` (this is the path every
+  console-log figure goes through);
+* **nvidia-smi snapshots** of the per-card InfoROM counters —
+  :mod:`nvsmi`, with the documented DBE-undercount and DBE>SBE quirks;
+* the **per-batch-job snapshot framework** (nvidia-smi before/after
+  each job script) — :mod:`jobsnap`, the data source of Figs. 16–20.
+"""
+
+from repro.telemetry.console import ConsoleLogWriter, render_event_line
+from repro.telemetry.sec import SEC_RULES, SecRule, classify_line
+from repro.telemetry.parser import ConsoleLogParser, ParseStats
+from repro.telemetry.nvsmi import NvidiaSmi, NvsmiRecord
+from repro.telemetry.nvsmi_text import (
+    ParsedNvsmiQuery,
+    parse_nvsmi_query,
+    render_nvsmi_query,
+)
+from repro.telemetry.raslog import (
+    NodeStateLog,
+    RepairModel,
+    parse_ras_lines,
+    render_ras_lines,
+)
+from repro.telemetry.jobsnap import JobSnapshotFramework, JobSnapshotRecord
+
+__all__ = [
+    "ConsoleLogWriter",
+    "render_event_line",
+    "SEC_RULES",
+    "SecRule",
+    "classify_line",
+    "ConsoleLogParser",
+    "ParseStats",
+    "NvidiaSmi",
+    "NvsmiRecord",
+    "ParsedNvsmiQuery",
+    "parse_nvsmi_query",
+    "render_nvsmi_query",
+    "JobSnapshotFramework",
+    "JobSnapshotRecord",
+    "NodeStateLog",
+    "RepairModel",
+    "parse_ras_lines",
+    "render_ras_lines",
+]

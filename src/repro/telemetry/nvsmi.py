@@ -1,0 +1,116 @@
+"""The nvidia-smi emulator.
+
+``nvidia-smi -q`` on a node reports the GPU's InfoROM error counters
+(aggregate single/double-bit ECC counts per structure, retired pages)
+and the current temperature.  Observation 2 is about the gaps between
+this view and the console log:
+
+* **DBE undercount** — DBEs lost to the shutdown race never reach the
+  InfoROM, so fleet-wide nvidia-smi DBE totals fall short of the
+  console-log count (the vendor-confirmed explanation);
+* **DBE > SBE anomalies** — double-committed DBE records make a few
+  cards report more double- than single-bit errors.
+
+Both quirks live in :class:`~repro.gpu.inforom.InfoROM`; this module is
+the *query* side, producing the per-card snapshot records operators
+collect and the fleet-wide tables the SBE analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.fleet import GPUFleet
+from repro.gpu.k20x import MemoryStructure
+from repro.topology.thermal import ThermalModel
+
+__all__ = ["NvsmiRecord", "NvidiaSmi"]
+
+
+@dataclass(frozen=True)
+class NvsmiRecord:
+    """One card's snapshot, as a query returns it."""
+
+    slot: int
+    serial: int
+    sbe_total: int
+    dbe_total: int
+    retired_pages: int
+    temperature_c: float
+    sbe_by_structure: dict[str, int]
+    dbe_by_structure: dict[str, int]
+
+
+class NvidiaSmi:
+    """Snapshot queries over the installed fleet."""
+
+    def __init__(self, fleet: GPUFleet, thermal: ThermalModel) -> None:
+        self.fleet = fleet
+        self.thermal = thermal
+
+    def query(self, slot: int, utilization: float = 0.5) -> NvsmiRecord:
+        """Snapshot one GPU (equivalent to ``nvidia-smi -q`` on a node)."""
+        card = self.fleet.card_in_slot(slot)
+        snap = card.inforom.snapshot()
+        temp = float(self.thermal.temperature(utilization)[slot])
+        return NvsmiRecord(
+            slot=int(slot),
+            serial=card.serial,
+            sbe_total=int(snap["total_sbe"]),
+            dbe_total=int(snap["total_dbe"]),
+            retired_pages=len(snap["retired_pages"]),
+            temperature_c=temp,
+            sbe_by_structure=dict(snap["sbe"]),
+            dbe_by_structure=dict(snap["dbe"]),
+        )
+
+    def query_fleet(self, utilization: float = 0.5) -> dict[str, np.ndarray]:
+        """Fleet-wide snapshot as columnar arrays indexed by slot.
+
+        This is the "run nvidia-smi on all the GPU nodes" collection
+        mode of Section 2.2.
+        """
+        n = self.fleet.n_slots
+        sbe = np.zeros(n, dtype=np.int64)
+        dbe = np.zeros(n, dtype=np.int64)
+        retired = np.zeros(n, dtype=np.int64)
+        l2_sbe = np.zeros(n, dtype=np.int64)
+        dev_sbe = np.zeros(n, dtype=np.int64)
+        for slot in range(n):
+            rom = self.fleet.card_in_slot(slot).inforom
+            sbe[slot] = rom.total_sbe
+            dbe[slot] = rom.total_dbe
+            retired[slot] = rom.n_retired_pages
+            l2_sbe[slot] = rom.sbe_counts.get(MemoryStructure.L2_CACHE, 0)
+            dev_sbe[slot] = rom.sbe_counts.get(MemoryStructure.DEVICE_MEMORY, 0)
+        return {
+            "sbe_total": sbe,
+            "dbe_total": dbe,
+            "retired_pages": retired,
+            "sbe_l2": l2_sbe,
+            "sbe_device": dev_sbe,
+            "temperature_c": self.thermal.temperature(utilization),
+        }
+
+    # -- fleet health summaries operators actually look at -------------------
+
+    def inconsistent_cards(self) -> list[int]:
+        """Slots whose ledgers violate the DBE ≤ SBE sanity check —
+        the Observation 2 logging anomaly."""
+        return [
+            slot
+            for slot in range(self.fleet.n_slots)
+            if not self.fleet.card_in_slot(slot).inforom.is_consistent()
+        ]
+
+    def fleet_dbe_total(self) -> int:
+        """Sum of InfoROM DBE counters — systematically *below* the
+        console-log DBE count because of the shutdown race."""
+        return int(
+            sum(
+                self.fleet.card_in_slot(s).inforom.total_dbe
+                for s in range(self.fleet.n_slots)
+            )
+        )

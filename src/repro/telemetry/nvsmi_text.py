@@ -1,0 +1,137 @@
+"""``nvidia-smi -q`` text rendering and parsing.
+
+The operators' actual interface to the InfoROM is the text report of
+``nvidia-smi -q`` (Section 2.2 collected exactly these from every
+node).  This module renders a card snapshot in the K20X-era layout —
+the *Ecc Errors* block with Volatile/Aggregate sections and per-
+structure counters plus *Retired Pages* — and parses such reports back,
+so collection pipelines built on the text format can be tested end to
+end.
+
+Only the fields the study uses are rendered; unknown lines are ignored
+by the parser (real reports carry dozens of unrelated sections).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.telemetry.nvsmi import NvsmiRecord
+
+__all__ = ["render_nvsmi_query", "parse_nvsmi_query", "ParsedNvsmiQuery"]
+
+#: nvidia-smi field labels per structure key used in our snapshots.
+_STRUCTURE_LABELS: tuple[tuple[str, str], ...] = (
+    ("device_memory", "Device Memory"),
+    ("register_file", "Register File"),
+    ("l1_cache", "L1 Cache"),
+    ("l2_cache", "L2 Cache"),
+    ("shared_memory", "Shared Memory"),  # folded into L1 on real K20X
+    ("texture_memory", "Texture Memory"),
+    ("readonly_cache", "Read Only Cache"),
+)
+_LABEL_TO_KEY = {label: key for key, label in _STRUCTURE_LABELS}
+
+
+def render_nvsmi_query(record: NvsmiRecord, *, gpu_index: int = 0) -> str:
+    """Render one card's snapshot as ``nvidia-smi -q`` style text."""
+    lines = [
+        f"GPU 0000:{gpu_index:02X}:00.0",
+        f"    Serial Number                   : {record.serial:012d}",
+        "    Product Name                    : Tesla K20X",
+        f"    GPU Current Temp                : {record.temperature_c:.0f} C",
+        "    Ecc Mode",
+        "        Current                     : Enabled",
+        "    Ecc Errors",
+        "        Aggregate",
+        "            Single Bit",
+    ]
+    for key, label in _STRUCTURE_LABELS:
+        count = record.sbe_by_structure.get(key, 0)
+        lines.append(f"                {label:<16}: {count}")
+    lines.append(f"                {'Total':<16}: {record.sbe_total}")
+    lines.append("            Double Bit")
+    for key, label in _STRUCTURE_LABELS:
+        count = record.dbe_by_structure.get(key, 0)
+        lines.append(f"                {label:<16}: {count}")
+    lines.append(f"                {'Total':<16}: {record.dbe_total}")
+    lines.append("    Retired Pages")
+    lines.append(
+        f"        Pending Page Blacklist      : "
+        f"{'Yes' if record.retired_pages else 'No'}"
+    )
+    lines.append(
+        f"        Retired Page Count          : {record.retired_pages}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class ParsedNvsmiQuery:
+    """Fields recovered from an ``nvidia-smi -q`` report."""
+
+    serial: int
+    temperature_c: float
+    sbe_by_structure: dict[str, int]
+    dbe_by_structure: dict[str, int]
+    sbe_total: int
+    dbe_total: int
+    retired_pages: int
+
+
+_SERIAL_RE = re.compile(r"Serial Number\s*:\s*(\d+)")
+_TEMP_RE = re.compile(r"GPU Current Temp\s*:\s*([\d.]+)\s*C")
+_COUNTER_RE = re.compile(r"^\s+([A-Za-z][A-Za-z0-9 ]*?)\s*:\s*(\d+)\s*$")
+_RETIRED_RE = re.compile(r"Retired Page Count\s*:\s*(\d+)")
+
+
+def parse_nvsmi_query(text: str) -> ParsedNvsmiQuery:
+    """Parse a report produced by :func:`render_nvsmi_query`.
+
+    Raises ``ValueError`` when mandatory fields are missing.
+    """
+    serial_m = _SERIAL_RE.search(text)
+    temp_m = _TEMP_RE.search(text)
+    retired_m = _RETIRED_RE.search(text)
+    if serial_m is None or temp_m is None or retired_m is None:
+        raise ValueError("not a recognizable nvidia-smi -q report")
+
+    sbe: dict[str, int] = {}
+    dbe: dict[str, int] = {}
+    sbe_total = dbe_total = 0
+    section: dict[str, int] | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped == "Single Bit":
+            section = sbe
+            continue
+        if stripped == "Double Bit":
+            section = dbe
+            continue
+        if section is None:
+            continue
+        match = _COUNTER_RE.match(line)
+        if match is None:
+            section = None  # left the counter block
+            continue
+        label, value = match.group(1).strip(), int(match.group(2))
+        if label == "Total":
+            if section is sbe:
+                sbe_total = value
+            else:
+                dbe_total = value
+            section = None if section is dbe else section
+            continue
+        key = _LABEL_TO_KEY.get(label)
+        if key is not None and value:
+            section[key] = value
+    return ParsedNvsmiQuery(
+        serial=int(serial_m.group(1)),
+        temperature_c=float(temp_m.group(1)),
+        sbe_by_structure=sbe,
+        dbe_by_structure=dbe,
+        sbe_total=sbe_total,
+        dbe_total=dbe_total,
+        retired_pages=int(retired_m.group(1)),
+    )

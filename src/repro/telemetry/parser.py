@@ -1,0 +1,127 @@
+"""Console-log text → :class:`EventLog`.
+
+This is the analysis side of the telemetry loop: it consumes exactly
+what :class:`~repro.telemetry.console.ConsoleLogWriter` (or a real SMW)
+produces, classifies lines through the SEC rules, decodes timestamps,
+cnames, structures, pages and job tags, and emits a columnar event log
+with **no parent information** — reconstructing parent/child structure
+by time-filtering is the analysis toolkit's job, just as it was for the
+paper's authors.
+
+Malformed or unclassifiable lines are counted, not fatal: a two-year
+console stream always contains noise, and the parse statistics are how
+operators notice new XIDs (Observation 5).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors.event import EventLog, EventLogBuilder, STRUCTURE_CODES
+from repro.gpu.k20x import MemoryStructure
+from repro.telemetry.sec import SEC_RULES, SecRule, UnmatchedLine, classify_line
+from repro.topology.machine import TitanMachine
+from repro.units import datetime_to_timestamp
+
+__all__ = ["ConsoleLogParser", "ParseStats"]
+
+_LINE_RE = re.compile(
+    r"^(?P<stamp>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6})\s+"
+    r"(?P<cname>c\d+-\d+c\d+s\d+n\d+)\s+"
+    r"(?P<body>.*)$"
+)
+_STRUCT_RE = re.compile(r" in (?P<structure>[a-z0-9_]+)(?: page 0x(?P<page>[0-9a-f]+))?")
+_JOB_RE = re.compile(r"\[job=(?P<job>\d+)\]")
+
+_STRUCT_BY_NAME = {s.value: s for s in MemoryStructure}
+
+
+@dataclass
+class ParseStats:
+    """Counters the parser accumulates over a log stream."""
+
+    total_lines: int = 0
+    parsed_events: int = 0
+    non_gpu_lines: int = 0
+    malformed_lines: int = 0
+    unknown_xid_lines: int = 0
+    unknown_xids_seen: set[str] = field(default_factory=set)
+
+
+class ConsoleLogParser:
+    """Parses console-log text back into an :class:`EventLog`."""
+
+    def __init__(
+        self,
+        machine: TitanMachine,
+        rules: tuple[SecRule, ...] = SEC_RULES,
+    ) -> None:
+        self.machine = machine
+        self.rules = rules
+
+    def parse_lines(self, lines: Iterable[str]) -> tuple[EventLog, ParseStats]:
+        """Parse an iterable of log lines.
+
+        Returns the (unsorted — log-order) event log and statistics.
+        """
+        import datetime as dt
+
+        builder = EventLogBuilder()
+        stats = ParseStats()
+        for raw in lines:
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            stats.total_lines += 1
+            match = _LINE_RE.match(line)
+            if match is None:
+                stats.malformed_lines += 1
+                continue
+            try:
+                etype = classify_line(match["body"], self.rules)
+            except UnmatchedLine:
+                stats.unknown_xid_lines += 1
+                xid_match = re.search(r"GPU XID (\d+)", match["body"])
+                if xid_match:
+                    stats.unknown_xids_seen.add(xid_match.group(1))
+                continue
+            if etype is None:
+                stats.non_gpu_lines += 1
+                continue
+            try:
+                when = dt.datetime.strptime(
+                    match["stamp"], "%Y-%m-%dT%H:%M:%S.%f"
+                )
+                gpu = self.machine.gpu_from_cname(match["cname"])
+            except ValueError:
+                stats.malformed_lines += 1
+                continue
+            structure = None
+            page = -1
+            struct_match = _STRUCT_RE.search(match["body"])
+            if struct_match:
+                structure = _STRUCT_BY_NAME.get(struct_match["structure"])
+                if struct_match["page"] is not None:
+                    page = int(struct_match["page"], 16)
+            job_match = _JOB_RE.search(match["body"])
+            job = int(job_match["job"]) if job_match else -1
+            builder.add(
+                datetime_to_timestamp(when),
+                gpu,
+                etype,
+                structure=structure,
+                job=job,
+                aux=page,
+            )
+            stats.parsed_events += 1
+        return builder.freeze(), stats
+
+    def parse_text(self, text: str) -> tuple[EventLog, ParseStats]:
+        return self.parse_lines(text.splitlines())
+
+
+def structure_code(structure: MemoryStructure | None) -> int:
+    """Columnar code for a structure (−1 for None)."""
+    return -1 if structure is None else STRUCTURE_CODES[structure]

@@ -1,0 +1,175 @@
+"""Node state (RAS) log: downtime events around GPU failures.
+
+Crashing *hardware* errors do not just kill the application — they take
+the node out of the batch pool until it is recovered (Observation 2's
+DBE undercount exists precisely because nodes go down before the
+InfoROM write).  The RAS stream records those transitions:
+
+* a DBE warm-boots the node (driver reload + health check, ~minutes);
+* an Off-the-bus event needs hands-on recovery (reseat/replace, hours);
+* recovery durations are log-normal around those scales.
+
+The stream has its own compact columnar container plus Titan-style
+console rendering/parsing, mirroring the error-log pipeline::
+
+    2013-07-02T09:15:00.500000 c1-03c2s7n0 node down (gpu failure: off_the_bus)
+    2013-07-02T12:40:12.000000 c1-03c2s7n0 node up after repair
+
+Availability analysis lives in :mod:`repro.core.availability`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.event import EventLog
+from repro.errors.xid import ErrorType
+from repro.topology.machine import TitanMachine
+from repro.units import datetime_to_timestamp, timestamp_to_datetime
+
+__all__ = ["NodeStateLog", "RepairModel", "render_ras_lines", "parse_ras_lines"]
+
+#: Error classes that take the node down, with (median, sigma) of the
+#: log-normal recovery time in seconds.
+_REPAIR_PROFILES: dict[ErrorType, tuple[float, float]] = {
+    ErrorType.DBE: (20 * 60.0, 0.4),  # warm boot + health check
+    ErrorType.OFF_THE_BUS: (4 * 3600.0, 0.6),  # hands-on reseat
+}
+
+
+@dataclass(frozen=True)
+class NodeStateLog:
+    """Columnar down/up transitions (one row per downtime interval)."""
+
+    gpu: np.ndarray  # int64
+    down_at: np.ndarray  # float64
+    up_at: np.ndarray  # float64
+    cause: np.ndarray  # int16 ErrorType codes
+
+    def __post_init__(self) -> None:
+        n = self.gpu.shape[0]
+        for name in ("gpu", "down_at", "up_at", "cause"):
+            col = getattr(self, name)
+            if col.shape != (n,):
+                raise ValueError(f"column {name} misshaped")
+            col.setflags(write=False)
+        if np.any(self.up_at < self.down_at):
+            raise ValueError("repair cannot finish before the failure")
+
+    def __len__(self) -> int:
+        return int(self.gpu.shape[0])
+
+    @property
+    def downtime_s(self) -> np.ndarray:
+        return self.up_at - self.down_at
+
+
+class RepairModel:
+    """Turns crashing hardware events into downtime intervals."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def apply(self, events: EventLog) -> NodeStateLog:
+        """Generate one downtime interval per DBE / Off-the-bus event."""
+        gpus, downs, ups, causes = [], [], [], []
+        for etype, (median_s, sigma) in _REPAIR_PROFILES.items():
+            stream = events.of_type(etype)
+            if len(stream) == 0:
+                continue
+            repairs = self.rng.lognormal(
+                np.log(median_s), sigma, size=len(stream)
+            )
+            gpus.append(stream.gpu.astype(np.int64))
+            downs.append(stream.time)
+            ups.append(stream.time + repairs)
+            causes.append(np.full(len(stream), etype.code, dtype=np.int16))
+        if not gpus:
+            empty = np.empty(0)
+            return NodeStateLog(
+                gpu=np.empty(0, dtype=np.int64),
+                down_at=empty,
+                up_at=empty.copy(),
+                cause=np.empty(0, dtype=np.int16),
+            )
+        order = np.argsort(np.concatenate(downs), kind="stable")
+        return NodeStateLog(
+            gpu=np.concatenate(gpus)[order],
+            down_at=np.concatenate(downs)[order],
+            up_at=np.concatenate(ups)[order],
+            cause=np.concatenate(causes)[order],
+        )
+
+
+_RAS_RE = re.compile(
+    r"^(?P<stamp>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6})\s+"
+    r"(?P<cname>c\d+-\d+c\d+s\d+n\d+)\s+"
+    r"node (?P<kind>down \(gpu failure: (?P<cause>[a-z_]+)\)|up after repair)$"
+)
+
+
+def render_ras_lines(log: NodeStateLog, machine: TitanMachine) -> list[str]:
+    """Render down/up pairs as console lines, time-sorted."""
+    from repro.errors.xid import from_code
+
+    entries: list[tuple[float, str]] = []
+    for i in range(len(log)):
+        cname = machine.cname(int(log.gpu[i]))
+        cause = from_code(int(log.cause[i])).name.lower()
+        down = float(log.down_at[i])
+        up = float(log.up_at[i])
+        entries.append((
+            down,
+            f"{timestamp_to_datetime(down).strftime('%Y-%m-%dT%H:%M:%S.%f')} "
+            f"{cname} node down (gpu failure: {cause})",
+        ))
+        entries.append((
+            up,
+            f"{timestamp_to_datetime(up).strftime('%Y-%m-%dT%H:%M:%S.%f')} "
+            f"{cname} node up after repair",
+        ))
+    entries.sort(key=lambda item: item[0])
+    return [line for _, line in entries]
+
+
+def parse_ras_lines(
+    lines: list[str], machine: TitanMachine
+) -> NodeStateLog:
+    """Reconstruct downtime intervals from RAS console lines.
+
+    Down/up lines are paired per node in time order; a trailing down
+    without an up is dropped (the node was still down at log end).
+    """
+    import datetime as dt
+
+    from repro.errors.xid import ErrorType as ET
+
+    open_down: dict[int, tuple[float, int]] = {}
+    gpus, downs, ups, causes = [], [], [], []
+    cause_codes = {t.name.lower(): t.code for t in ET}
+    for line in lines:
+        match = _RAS_RE.match(line.strip())
+        if match is None:
+            continue
+        when = datetime_to_timestamp(
+            dt.datetime.strptime(match["stamp"], "%Y-%m-%dT%H:%M:%S.%f")
+        )
+        gpu = machine.gpu_from_cname(match["cname"])
+        if match["kind"].startswith("down"):
+            open_down[gpu] = (when, cause_codes[match["cause"]])
+        else:
+            pending = open_down.pop(gpu, None)
+            if pending is not None:
+                gpus.append(gpu)
+                downs.append(pending[0])
+                ups.append(when)
+                causes.append(pending[1])
+    return NodeStateLog(
+        gpu=np.asarray(gpus, dtype=np.int64),
+        down_at=np.asarray(downs, dtype=np.float64),
+        up_at=np.asarray(ups, dtype=np.float64),
+        cause=np.asarray(causes, dtype=np.int16),
+    )

@@ -1,0 +1,85 @@
+"""Simple-event-correlator (SEC) classification rules.
+
+Titan's system management workstation runs SEC over the raw console
+stream to flag critical events; the study "focuses specifically on GPU
+related events".  Each rule pairs a compiled regex with the
+:class:`ErrorType` it flags.  Rules are ordered — the first match wins —
+mirroring how SEC rule files cascade, and Observation 5's operational
+lesson ("system operators have to keep updating their log parsing rules"
+when new XIDs appear) is directly visible here: XID 63/64 have their own
+late-added rules, and :func:`classify_line` reports unmatched GPU lines
+so operators notice catalog gaps.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors.xid import ErrorType
+
+__all__ = ["SecRule", "SEC_RULES", "classify_line", "UnmatchedLine"]
+
+
+@dataclass(frozen=True)
+class SecRule:
+    """One SEC classification rule."""
+
+    name: str
+    pattern: re.Pattern
+    etype: ErrorType
+
+
+def _xid_rule(name: str, xid: int, etype: ErrorType) -> SecRule:
+    return SecRule(name, re.compile(rf"GPU XID {xid}\b"), etype)
+
+
+#: Ordered rule set. XID rules are exact-code matches; Off-the-bus is a
+#: phrase match because the host logs it without an XID.
+SEC_RULES: tuple[SecRule, ...] = (
+    _xid_rule("dbe", 48, ErrorType.DBE),
+    SecRule(
+        "off_the_bus",
+        re.compile(r"GPU has fallen off the bus"),
+        ErrorType.OFF_THE_BUS,
+    ),
+    _xid_rule("graphics_engine_exception", 13, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+    _xid_rule("mem_page_fault", 31, ErrorType.MEM_PAGE_FAULT),
+    _xid_rule("push_buffer", 32, ErrorType.PUSH_BUFFER),
+    _xid_rule("driver_firmware", 38, ErrorType.DRIVER_FIRMWARE),
+    _xid_rule("video_processor_driver", 42, ErrorType.VIDEO_PROCESSOR_DRIVER),
+    _xid_rule("gpu_stopped", 43, ErrorType.GPU_STOPPED),
+    _xid_rule("ctxsw_fault", 44, ErrorType.CTXSW_FAULT),
+    _xid_rule("preemptive_cleanup", 45, ErrorType.PREEMPTIVE_CLEANUP),
+    _xid_rule("display_engine", 56, ErrorType.DISPLAY_ENGINE),
+    _xid_rule("vmem_programming", 57, ErrorType.VMEM_PROGRAMMING),
+    _xid_rule("vmem_unstable", 58, ErrorType.VMEM_UNSTABLE),
+    _xid_rule("mcu_halt_old", 59, ErrorType.MCU_HALT_OLD),
+    _xid_rule("mcu_halt_new", 62, ErrorType.MCU_HALT_NEW),
+    # Late additions — NVIDIA introduced these XIDs mid-study (Obs. 5).
+    _xid_rule("ecc_page_retirement", 63, ErrorType.ECC_PAGE_RETIREMENT),
+    _xid_rule(
+        "ecc_page_retirement_failure", 64, ErrorType.ECC_PAGE_RETIREMENT_FAILURE
+    ),
+    _xid_rule("video_processor", 65, ErrorType.VIDEO_PROCESSOR),
+)
+
+
+class UnmatchedLine(Exception):
+    """A GPU-looking console line no rule recognizes — the signal that
+    the rule catalog needs updating (a new XID appeared)."""
+
+
+def classify_line(line: str, rules: tuple[SecRule, ...] = SEC_RULES) -> ErrorType | None:
+    """Classify one console line.
+
+    Returns the matched :class:`ErrorType`, ``None`` for lines that are
+    not GPU error reports at all, and raises :class:`UnmatchedLine` for
+    GPU XID lines missing from the rule catalog.
+    """
+    for rule in rules:
+        if rule.pattern.search(line):
+            return rule.etype
+    if re.search(r"GPU XID \d+", line):
+        raise UnmatchedLine(line)
+    return None

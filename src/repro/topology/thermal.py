@@ -1,0 +1,124 @@
+"""Cabinet thermal model.
+
+Titan's XK7 cabinets are cooled bottom-to-top: chilled air enters below
+cage 0 and exhausts above cage 2, so upper cages run hotter.  The paper
+reports (from nvidia-smi snapshots) that GPUs in the **uppermost cage
+average more than 10 °F (≈5.6 °C) hotter** than the lowermost cage, and
+uses this gradient to explain why DBE and Off-the-bus errors
+concentrate in upper cages.
+
+The model is intentionally simple — the paper makes no stronger claim
+than a monotone cage gradient plus card-to-card variation:
+
+``T(gpu, t) = T_base + cage_gradient[cage] + card_offset + util_delta``
+
+* ``T_base`` — fleet-wide idle baseline (30 °C);
+* ``cage_gradient`` — (0, +2.8, +5.6) °C for cages 0/1/2 so that the
+  top-vs-bottom delta matches the observed ≥10 °F;
+* ``card_offset`` — per-card Gaussian (σ = 1.5 °C), fixed for the card's
+  lifetime (some cards simply run hot);
+* ``util_delta`` — up to +12 °C at full GPU utilization.
+
+Fault injectors consume :meth:`arrhenius_factor`, a standard
+exponential acceleration in temperature, to convert the gradient into
+the cage-skewed error rates the paper measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.location import CAGES_PER_CABINET
+from repro.units import fahrenheit_delta_to_celsius
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """Per-GPU temperature model with a vertical cage gradient.
+
+    Parameters
+    ----------
+    cages:
+        Per-GPU cage index array (from :class:`TitanMachine`).
+    rng:
+        Generator for the fixed per-card offsets.
+    base_c:
+        Idle baseline temperature, °C.
+    top_delta_f:
+        Top-cage minus bottom-cage average delta, °F (paper: >10 °F).
+    card_sigma_c:
+        Std-dev of per-card offsets, °C.
+    util_delta_c:
+        Temperature rise at 100 % utilization, °C.
+    enabled:
+        If False, the gradient and offsets are zeroed — the ablation
+        switch that removes all cage effects.
+    """
+
+    def __init__(
+        self,
+        cages: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        base_c: float = 30.0,
+        top_delta_f: float = 10.5,
+        card_sigma_c: float = 1.5,
+        util_delta_c: float = 12.0,
+        enabled: bool = True,
+    ) -> None:
+        self.cages = np.asarray(cages, dtype=np.int64)
+        self.base_c = float(base_c)
+        self.util_delta_c = float(util_delta_c)
+        self.enabled = bool(enabled)
+
+        top_delta_c = fahrenheit_delta_to_celsius(top_delta_f)
+        steps = np.linspace(0.0, top_delta_c, CAGES_PER_CABINET)
+        self.cage_gradient_c = steps if enabled else np.zeros_like(steps)
+
+        offsets = rng.normal(0.0, card_sigma_c, size=self.cages.size)
+        self.card_offset_c = offsets if enabled else np.zeros_like(offsets)
+
+    def idle_temperature(self) -> np.ndarray:
+        """Idle (zero-utilization) temperature of every GPU, °C."""
+        return (
+            self.base_c
+            + self.cage_gradient_c[self.cages]
+            + self.card_offset_c
+        )
+
+    def temperature(self, utilization: float | np.ndarray) -> np.ndarray:
+        """Temperature at the given utilization (scalar or per-GPU array)."""
+        util = np.clip(np.asarray(utilization, dtype=np.float64), 0.0, 1.0)
+        return self.idle_temperature() + util * self.util_delta_c
+
+    def cage_means(self, utilization: float = 0.5) -> np.ndarray:
+        """Mean temperature per cage at a given utilization — the
+        quantity the paper reads off its nvidia-smi snapshot."""
+        temps = self.temperature(utilization)
+        means = np.zeros(CAGES_PER_CABINET)
+        for cage in range(CAGES_PER_CABINET):
+            means[cage] = temps[self.cages == cage].mean()
+        return means
+
+    def arrhenius_factor(
+        self,
+        utilization: float | np.ndarray = 0.5,
+        *,
+        reference_c: float | None = None,
+        doubling_c: float = 10.0,
+    ) -> np.ndarray:
+        """Relative error-rate multiplier per GPU.
+
+        Uses the rule-of-thumb exponential acceleration: the rate
+        doubles every ``doubling_c`` degrees above the reference
+        temperature (default: the fleet mean at this utilization).
+        A disabled model returns all-ones.
+        """
+        temps = self.temperature(utilization)
+        if reference_c is None:
+            reference_c = float(temps.mean())
+        factor = np.exp2((temps - reference_c) / doubling_c)
+        if not self.enabled:
+            return np.ones_like(factor)
+        return factor

@@ -1,0 +1,167 @@
+"""The Gemini 3-D torus and its folded cabling.
+
+Each Gemini router serves two nodes (half a blade), so Titan's 19,200
+node positions sit behind 9,600 routers arranged as a
+``25 × 16 × 24`` torus:
+
+* ``X ∈ [0, 25)`` — spans the machine-floor **rows**;
+* ``Y ∈ [0, 16)`` — ``col * 2 + router-within-blade`` (8 columns × 2);
+* ``Z ∈ [0, 24)`` — ``cage * 8 + slot`` within a cabinet.
+
+**Folded cabling.**  Wiring the X ring 0→1→…→24→0 in physical row order
+would need one full-length return cable.  Titan instead folds the ring:
+physical rows are visited in the order ``0, 2, 4, …, 24, 23, 21, …, 1``
+so every cable hops at most two rows.  The consequence the paper
+observes (Fig. 12) is that nodes *adjacent in the torus* — and hence
+adjacent in the scheduler's allocation order — sit in **alternating
+physical rows**, producing a striped spatial pattern when a job's
+error shows up on all of its nodes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.topology.location import (
+    CABINET_COLS,
+    CABINET_ROWS,
+    NODES_PER_BLADE,
+    SLOTS_PER_CAGE,
+    TOTAL_POSITIONS,
+    position_fields,
+    position_index,
+)
+
+__all__ = [
+    "TORUS_X",
+    "TORUS_Y",
+    "TORUS_Z",
+    "folded_order",
+    "folded_rank",
+    "GeminiTorus",
+]
+
+TORUS_X: int = CABINET_ROWS  # 25
+TORUS_Y: int = CABINET_COLS * 2  # 16
+TORUS_Z: int = 24  # cages (3) * slots (8)
+
+
+@lru_cache(maxsize=1)
+def folded_order() -> tuple[int, ...]:
+    """Physical rows in folded-cable order.
+
+    ``folded_order()[x]`` is the physical row holding torus coordinate
+    ``x``.  Even rows ascending, then odd rows descending::
+
+        (0, 2, 4, ..., 24, 23, 21, ..., 1)
+    """
+    evens = list(range(0, CABINET_ROWS, 2))
+    odds = list(range(CABINET_ROWS - 2, 0, -2))
+    order = tuple(evens + odds)
+    assert len(order) == CABINET_ROWS
+    return order
+
+
+@lru_cache(maxsize=1)
+def folded_rank() -> tuple[int, ...]:
+    """Inverse of :func:`folded_order`.
+
+    ``folded_rank()[row]`` is the torus X coordinate of a physical row.
+    """
+    rank = [0] * CABINET_ROWS
+    for x, row in enumerate(folded_order()):
+        rank[row] = x
+    return tuple(rank)
+
+
+class GeminiTorus:
+    """Coordinate algebra for Titan's Gemini torus.
+
+    All methods are vectorized: scalars in, scalars out; arrays in,
+    arrays out.
+    """
+
+    shape: tuple[int, int, int] = (TORUS_X, TORUS_Y, TORUS_Z)
+
+    def node_to_torus(
+        self, index: int | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Map position index → ``(x, y, z, endpoint)``.
+
+        ``endpoint ∈ {0, 1}`` distinguishes the two nodes sharing one
+        Gemini router (nodes 0/1 vs 2/3 of a blade form the two
+        routers; within a router the endpoint is the node parity).
+        """
+        row, col, cage, slot, node = position_fields(index)
+        x = np.asarray(folded_rank(), dtype=np.int64)[row]
+        router_in_blade, endpoint = np.divmod(node, 2)
+        y = col * 2 + router_in_blade
+        z = cage * SLOTS_PER_CAGE + slot
+        return x, y, z, endpoint
+
+    def torus_to_node(
+        self,
+        x: int | np.ndarray,
+        y: int | np.ndarray,
+        z: int | np.ndarray,
+        endpoint: int | np.ndarray,
+    ) -> np.ndarray:
+        """Inverse of :meth:`node_to_torus`."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        z = np.asarray(z)
+        endpoint = np.asarray(endpoint)
+        if np.any((x < 0) | (x >= TORUS_X)):
+            raise ValueError("torus X out of range")
+        if np.any((y < 0) | (y >= TORUS_Y)):
+            raise ValueError("torus Y out of range")
+        if np.any((z < 0) | (z >= TORUS_Z)):
+            raise ValueError("torus Z out of range")
+        if np.any((endpoint < 0) | (endpoint > 1)):
+            raise ValueError("endpoint must be 0 or 1")
+        row = np.asarray(folded_order(), dtype=np.int64)[x]
+        col, router_in_blade = np.divmod(y, 2)
+        cage, slot = np.divmod(z, SLOTS_PER_CAGE)
+        node = router_in_blade * 2 + endpoint
+        return position_index(row, col, cage, slot, node)
+
+    def neighbors(self, x: int, y: int, z: int) -> list[tuple[int, int, int]]:
+        """The six torus neighbors of a router coordinate."""
+        return [
+            ((x + 1) % TORUS_X, y, z),
+            ((x - 1) % TORUS_X, y, z),
+            (x, (y + 1) % TORUS_Y, z),
+            (x, (y - 1) % TORUS_Y, z),
+            (x, y, (z + 1) % TORUS_Z),
+            (x, y, (z - 1) % TORUS_Z),
+        ]
+
+    def hop_distance(
+        self,
+        a: tuple[int, int, int],
+        b: tuple[int, int, int],
+    ) -> int:
+        """Minimal hop count between two router coordinates."""
+        total = 0
+        for (ca, cb, size) in zip(a, b, self.shape):
+            d = abs(ca - cb)
+            total += min(d, size - d)
+        return total
+
+    def torus_rank(self, index: int | np.ndarray) -> np.ndarray:
+        """Scalar rank ordering node positions by (X, Y, Z, endpoint).
+
+        The batch scheduler allocates free nodes in ascending torus
+        rank, which keeps a job's nodes compact in the interconnect.
+        Because X follows the *folded* cable order, ascending rank walks
+        physical rows as 0, 2, 4, … — the alternating stripe of Fig. 12.
+        """
+        x, y, z, endpoint = self.node_to_torus(index)
+        return ((x * TORUS_Y + y) * TORUS_Z + z) * 2 + endpoint
+
+    def all_positions_in_rank_order(self) -> np.ndarray:
+        """All position indices sorted by torus rank."""
+        idx = np.arange(TOTAL_POSITIONS, dtype=np.int64)
+        return idx[np.argsort(self.torus_rank(idx), kind="stable")]

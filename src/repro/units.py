@@ -1,0 +1,133 @@
+"""Time units and the study-window calendar.
+
+All simulator timestamps are **seconds since the study epoch**
+(2013-06-01 00:00:00), stored as ``float64``.  The paper's study window
+runs Jun'2013 through Feb'2015 inclusive (21 calendar months); all
+monthly aggregations in the analysis toolkit bucket events into those
+calendar months.
+
+Nothing here touches wall-clock time: the calendar is fixed so that
+simulations and analyses are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "STUDY_EPOCH",
+    "STUDY_MONTHS",
+    "N_STUDY_MONTHS",
+    "STUDY_END",
+    "month_label",
+    "month_bounds",
+    "month_starts",
+    "month_index",
+    "timestamp_to_datetime",
+    "datetime_to_timestamp",
+    "fahrenheit_delta_to_celsius",
+]
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+WEEK: float = 7 * DAY
+
+#: Origin of simulator time: Titan went into GPU production Jun'2013.
+STUDY_EPOCH: _dt.datetime = _dt.datetime(2013, 6, 1)
+
+#: (year, month) pairs covering the paper's data window, in order.
+STUDY_MONTHS: tuple[tuple[int, int], ...] = tuple(
+    (2013 + (5 + i) // 12, (5 + i) % 12 + 1) for i in range(21)
+)
+
+N_STUDY_MONTHS: int = len(STUDY_MONTHS)
+
+
+def _month_start_dt(year: int, month: int) -> _dt.datetime:
+    return _dt.datetime(year, month, 1)
+
+
+def _next_month(year: int, month: int) -> tuple[int, int]:
+    return (year + month // 12, month % 12 + 1)
+
+
+def datetime_to_timestamp(when: _dt.datetime) -> float:
+    """Convert a datetime to seconds since :data:`STUDY_EPOCH`."""
+    return (when - STUDY_EPOCH).total_seconds()
+
+
+def timestamp_to_datetime(ts: float) -> _dt.datetime:
+    """Convert seconds-since-epoch back to a datetime."""
+    return STUDY_EPOCH + _dt.timedelta(seconds=float(ts))
+
+
+def month_bounds(index: int) -> tuple[float, float]:
+    """Return ``(start, end)`` timestamps of study month ``index``.
+
+    ``end`` is the exclusive upper bound (start of the next month).
+    """
+    if not 0 <= index < N_STUDY_MONTHS:
+        raise IndexError(f"study month index out of range: {index}")
+    year, month = STUDY_MONTHS[index]
+    start = datetime_to_timestamp(_month_start_dt(year, month))
+    ny, nm = _next_month(year, month)
+    end = datetime_to_timestamp(_month_start_dt(ny, nm))
+    return start, end
+
+
+def month_starts() -> np.ndarray:
+    """Timestamps of the starts of all study months plus the final end.
+
+    The returned array has ``N_STUDY_MONTHS + 1`` entries and is directly
+    usable as ``numpy.histogram`` bin edges.
+    """
+    edges = [month_bounds(i)[0] for i in range(N_STUDY_MONTHS)]
+    edges.append(month_bounds(N_STUDY_MONTHS - 1)[1])
+    return np.asarray(edges, dtype=np.float64)
+
+
+#: Exclusive end of the study window (start of Mar'2015).
+STUDY_END: float = (
+    datetime_to_timestamp(_dt.datetime(2015, 3, 1))
+)
+
+
+def month_index(ts: float | np.ndarray) -> np.ndarray:
+    """Map timestamps to study-month indices (vectorized).
+
+    Values outside the window map to ``-1``.
+    """
+    edges = month_starts()
+    arr = np.atleast_1d(np.asarray(ts, dtype=np.float64))
+    idx = np.searchsorted(edges, arr, side="right") - 1
+    idx[(arr < edges[0]) | (arr >= edges[-1])] = -1
+    return idx
+
+
+def month_label(index: int) -> str:
+    """Human-readable label, e.g. ``"Jun'13"``."""
+    year, month = STUDY_MONTHS[index]
+    name = _dt.date(year, month, 1).strftime("%b")
+    return f"{name}'{year % 100:02d}"
+
+
+def fahrenheit_delta_to_celsius(delta_f: float) -> float:
+    """Convert a temperature *difference* in °F to °C."""
+    return delta_f * 5.0 / 9.0
+
+
+def month_labels(indices: Sequence[int] | None = None) -> list[str]:
+    """Labels for the given month indices (default: all study months)."""
+    if indices is None:
+        indices = range(N_STUDY_MONTHS)
+    return [month_label(i) for i in indices]

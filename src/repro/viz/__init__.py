@@ -1,0 +1,24 @@
+"""Output rendering without plotting dependencies.
+
+:mod:`ascii` re-exports the terminal renderers used by the benchmark
+harness; :mod:`csvout` writes every figure's underlying series to CSV so
+the numbers can be re-plotted with any external tool.
+"""
+
+from repro.viz.ascii import (
+    render_bar,
+    render_heatmap,
+    render_monthly_series,
+    render_table,
+)
+from repro.viz.csvout import write_grid_csv, write_rows_csv, write_series_csv
+
+__all__ = [
+    "render_bar",
+    "render_heatmap",
+    "render_monthly_series",
+    "render_table",
+    "write_series_csv",
+    "write_grid_csv",
+    "write_rows_csv",
+]

@@ -1,0 +1,19 @@
+"""Terminal renderers (re-exported from :mod:`repro.core.report`).
+
+Kept as a separate module so downstream users import visualization
+helpers from ``repro.viz`` without reaching into the analysis package.
+"""
+
+from repro.core.report import (
+    render_bar,
+    render_heatmap,
+    render_monthly_series,
+    render_table,
+)
+
+__all__ = [
+    "render_bar",
+    "render_heatmap",
+    "render_monthly_series",
+    "render_table",
+]

@@ -1,0 +1,64 @@
+"""CSV writers for figure data.
+
+Every figure's underlying series can be exported so users re-plot with
+their own tooling; the examples write these next to their output.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_series_csv", "write_grid_csv", "write_rows_csv"]
+
+
+def write_rows_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write header + rows; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            writer.writerow(list(row))
+    return path
+
+
+def write_series_csv(
+    path: str | Path,
+    labels: Sequence[str],
+    values: np.ndarray,
+    *,
+    label_name: str = "label",
+    value_name: str = "value",
+) -> Path:
+    """Write a labeled 1-D series (e.g. a monthly-frequency figure)."""
+    values = np.asarray(values)
+    if len(labels) != values.size:
+        raise ValueError("labels and values must align")
+    return write_rows_csv(
+        path,
+        [label_name, value_name],
+        list(zip(labels, values.tolist())),
+    )
+
+
+def write_grid_csv(path: str | Path, grid: np.ndarray) -> Path:
+    """Write a 2-D grid (cabinet heatmaps) as row,col,value triples."""
+    grid = np.asarray(grid)
+    if grid.ndim != 2:
+        raise ValueError("grid must be 2-D")
+    rows = [
+        (i, j, grid[i, j])
+        for i in range(grid.shape[0])
+        for j in range(grid.shape[1])
+    ]
+    return write_rows_csv(path, ["row", "col", "value"], rows)

@@ -1,0 +1,38 @@
+"""Synthetic Titan workload: users, batch jobs, and the scheduler.
+
+The correlation studies of Sections 4 (Figs. 16–21) need a job
+population with realistic marginals — node counts, walltimes, GPU
+core-hours, memory footprints — and node *allocations* that follow the
+torus-ordered policy (Fig. 12's stripes).  This subpackage provides:
+
+* :mod:`users` — a user population whose per-user scale, memory
+  appetite, walltime profile, and deadline schedule shape their jobs
+  (Observation 13/14);
+* :mod:`jobs` — the columnar :class:`JobTrace` with run-length-encoded
+  allocations;
+* :mod:`generator` — samples the job stream;
+* :mod:`scheduler` — FCFS allocation over an interval free-list in
+  torus-rank order.
+"""
+
+from repro.workload.users import UserPopulation, UserProfile
+from repro.workload.jobs import JobTrace, JobTraceBuilder
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.policies import thermal_aware_order, torus_order
+from repro.workload.scheduler import IntervalAllocator, Scheduler
+from repro.workload.swf import from_swf, to_swf
+
+__all__ = [
+    "UserPopulation",
+    "UserProfile",
+    "JobTrace",
+    "JobTraceBuilder",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "IntervalAllocator",
+    "Scheduler",
+    "thermal_aware_order",
+    "torus_order",
+    "from_swf",
+    "to_swf",
+]

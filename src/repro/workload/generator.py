@@ -1,0 +1,173 @@
+"""Synthetic job-stream generation.
+
+Draws a 21-month submission stream from the user population, places it
+with the FCFS :class:`~repro.workload.scheduler.Scheduler`, and freezes
+the result to a :class:`~repro.workload.jobs.JobTrace`.
+
+Calibration targets (Observation 14 / Fig. 21):
+
+* node counts and walltimes are per-user log-normals, so capability
+  users dominate core-hours while marathon users own the walltime tail;
+* memory-hog jobs pair near-32 GB/node footprints with modest node
+  counts and *below-average* core-hours;
+* GPU core-hours = nodes × hours × utilization, with per-user
+  utilization factors.
+
+A simple quarterly **deadline cycle** modulates both submission volume
+and (via :meth:`deadline_factor`) the debug-run intensity the XID 13
+injector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import DAY, HOUR, STUDY_END
+from repro.workload.jobs import JobTrace, JobTraceBuilder
+from repro.workload.scheduler import Scheduler
+from repro.workload.users import UserPopulation
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "deadline_cycle_factor"]
+
+#: Titan's queue-enforced maximum walltime.
+MAX_WALLTIME_H = 24.0
+MIN_WALLTIME_H = 0.05
+#: Largest allocation the generator requests (leaves headroom under
+#: 18,688 so FCFS never deadlocks behind one monster job).
+MAX_JOB_NODES = 16_384
+#: Per-node memory ceiling (32 GB DDR3 per node).
+NODE_MEMORY_GB = 32.0
+
+#: Deadline cycle: a burst window every quarter.
+DEADLINE_PERIOD_DAYS = 91.0
+DEADLINE_WINDOW_DAYS = 14.0
+
+
+def deadline_cycle_factor(
+    t: float | np.ndarray, phase_days: float, boost: float
+) -> np.ndarray:
+    """Multiplier ≥ 1 applied inside the two weeks before a deadline.
+
+    ``t`` is epoch seconds; the cycle has period 91 days shifted by the
+    user's phase. Outside the window the factor is exactly 1.
+    """
+    days = np.asarray(t, dtype=np.float64) / DAY + phase_days
+    pos = np.mod(days, DEADLINE_PERIOD_DAYS)
+    in_window = pos >= DEADLINE_PERIOD_DAYS - DEADLINE_WINDOW_DAYS
+    return np.where(in_window, boost, 1.0)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the workload generator."""
+
+    n_users: int = 160
+    jobs_per_day: float = 70.0
+    start_time: float = 0.0
+    end_time: float = STUDY_END
+    #: Global deadline submission boost (volume, not just debug runs).
+    deadline_submit_boost: float = 1.6
+    #: Mean apruns per job script (nvidia-smi wraps the *job*, not the
+    #: aprun — the paper calls this out explicitly).
+    apruns_mean: float = 2.2
+
+    def validate(self) -> None:
+        if self.end_time <= self.start_time:
+            raise ValueError("empty workload window")
+        if self.jobs_per_day <= 0:
+            raise ValueError("jobs_per_day must be positive")
+        if self.n_users < 4:
+            raise ValueError("need at least one user per class")
+
+
+class WorkloadGenerator:
+    """Samples and schedules the synthetic job stream."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        rng: np.random.Generator,
+        *,
+        capacity: int = 18_688,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self.capacity = capacity
+        self.users = UserPopulation(config.n_users, rng)
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _sample_submit_times(self) -> np.ndarray:
+        """Poisson submissions, thinned-in by the deadline cycle."""
+        cfg = self.config
+        duration = cfg.end_time - cfg.start_time
+        base_rate = cfg.jobs_per_day / DAY
+        # Sample at the boosted rate and thin down outside windows.
+        n = self.rng.poisson(base_rate * cfg.deadline_submit_boost * duration)
+        t = cfg.start_time + self.rng.random(n) * duration
+        factor = deadline_cycle_factor(t, 0.0, cfg.deadline_submit_boost)
+        keep = self.rng.random(n) < factor / cfg.deadline_submit_boost
+        return np.sort(t[keep])
+
+    def _sample_job(self, user_id: int, rng: np.random.Generator):
+        p = self.users[user_id]
+        n_nodes = int(
+            np.clip(
+                np.round(rng.lognormal(np.log(p.nodes_median), p.nodes_sigma)),
+                1,
+                MAX_JOB_NODES,
+            )
+        )
+        walltime_h = float(
+            np.clip(
+                rng.lognormal(np.log(p.walltime_median_h), p.walltime_sigma),
+                MIN_WALLTIME_H,
+                MAX_WALLTIME_H,
+            )
+        )
+        # Memory accounting is *per node* (peak RSS on the busiest node,
+        # as Titan's job logs report it), so memory footprint and node
+        # count are only loosely coupled — the precondition for the weak
+        # memory↔SBE correlations of Figs. 16–17 and for Fig. 21(d).
+        max_memory = float(
+            np.clip(
+                p.mem_per_node_gb * rng.lognormal(0.0, 0.45), 0.1, NODE_MEMORY_GB
+            )
+        )
+        duty = rng.uniform(0.6, 1.0)  # memory held for part of the run
+        total_memory = max_memory * walltime_h * duty
+        util = float(np.clip(p.gpu_utilization * rng.lognormal(0.0, 0.15), 0.05, 1.0))
+        n_apruns = 1 + rng.poisson(self.config.apruns_mean - 1.0)
+        return n_nodes, walltime_h, max_memory, total_memory, util, int(n_apruns)
+
+    # -- the main entry point ---------------------------------------------------
+
+    def generate(self) -> JobTrace:
+        """Sample, schedule and freeze the whole job stream."""
+        submits = self._sample_submit_times()
+        owners = self.rng.choice(
+            self.config.n_users, size=submits.size, p=self.users.submit_probabilities()
+        )
+        scheduler = Scheduler(self.capacity)
+        builder = JobTraceBuilder()
+        for submit, user in zip(submits, owners):
+            n_nodes, walltime_h, max_mem, total_mem, util, n_apruns = (
+                self._sample_job(int(user), self.rng)
+            )
+            duration = walltime_h * HOUR
+            start, runs = scheduler.place(float(submit), duration, n_nodes)
+            builder.add(
+                user=int(user),
+                submit=float(submit),
+                start=start,
+                end=start + duration,
+                gpu_util=util,
+                max_memory_gb=max_mem,
+                total_memory=total_mem,
+                n_apruns=n_apruns,
+                runs=runs,
+            )
+        return builder.freeze()

@@ -1,0 +1,204 @@
+"""Columnar batch-job trace with run-length-encoded allocations.
+
+A 21-month Titan workload holds ~10⁵ jobs whose node lists total ~10⁷
+entries, so allocations are stored as **runs in torus-rank space**: the
+scheduler hands every job a small set of contiguous rank intervals, and
+a job's node list is reconstructed on demand as
+``machine.allocation_order[start:start+length]`` per run.
+
+Columns (one row per job):
+
+==================  =========  ============================================
+``user``            int32      owning user id
+``submit``          float64    submission time (epoch seconds)
+``start``           float64    start time (≥ submit under FCFS queueing)
+``end``             float64    completion time
+``n_nodes``         int32      allocation size
+``gpu_util``        float64    mean GPU utilization in (0, 1]
+``max_memory_gb``   float64    peak per-node memory (busiest node RSS)
+``total_memory``    float64    per-node GB·hours integral over the run
+``n_apruns``        int16      application launches inside the script
+==================  =========  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import HOUR
+
+__all__ = ["JobTrace", "JobTraceBuilder"]
+
+_FLOAT_COLS = ("submit", "start", "end", "gpu_util", "max_memory_gb", "total_memory")
+_INT_COLS = {"user": np.int32, "n_nodes": np.int32, "n_apruns": np.int16}
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """Immutable columnar job trace."""
+
+    user: np.ndarray
+    submit: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    n_nodes: np.ndarray
+    gpu_util: np.ndarray
+    max_memory_gb: np.ndarray
+    total_memory: np.ndarray
+    n_apruns: np.ndarray
+    #: Ragged runs: job j owns runs [run_offsets[j], run_offsets[j+1]).
+    run_offsets: np.ndarray
+    run_start: np.ndarray  # allocation-rank start of each run
+    run_length: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.user.shape[0]
+        for name in (*_FLOAT_COLS, *_INT_COLS, "run_offsets"):
+            col = getattr(self, name)
+            expected = n + 1 if name == "run_offsets" else n
+            if col.shape != (expected,):
+                raise ValueError(f"column {name!r}: shape {col.shape}")
+        if self.run_start.shape != self.run_length.shape:
+            raise ValueError("run arrays must align")
+        if int(self.run_offsets[-1]) != self.run_start.shape[0]:
+            raise ValueError("run_offsets must close over the run arrays")
+        for name in (
+            *_FLOAT_COLS,
+            *_INT_COLS,
+            "run_offsets",
+            "run_start",
+            "run_length",
+        ):
+            getattr(self, name).setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.user.shape[0])
+
+    # -- derived quantities the analyses use -------------------------------
+
+    @property
+    def walltime_s(self) -> np.ndarray:
+        return self.end - self.start
+
+    @property
+    def walltime_h(self) -> np.ndarray:
+        return self.walltime_s / HOUR
+
+    @property
+    def gpu_core_hours(self) -> np.ndarray:
+        """GPU core-hours charged: nodes × hours × utilization."""
+        return self.n_nodes * self.walltime_h * self.gpu_util
+
+    @property
+    def node_hours(self) -> np.ndarray:
+        return self.n_nodes * self.walltime_h
+
+    # -- allocation access ----------------------------------------------------
+
+    def job_runs(self, job: int) -> tuple[np.ndarray, np.ndarray]:
+        """(rank-starts, lengths) of one job's allocation runs."""
+        lo, hi = int(self.run_offsets[job]), int(self.run_offsets[job + 1])
+        return self.run_start[lo:hi], self.run_length[lo:hi]
+
+    def job_ranks(self, job: int) -> np.ndarray:
+        """Allocation ranks of one job's nodes (ascending)."""
+        starts, lengths = self.job_runs(job)
+        if starts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.arange(s, s + l, dtype=np.int64) for s, l in zip(starts, lengths)]
+        )
+
+    def job_gpus(self, job: int, allocation_order: np.ndarray) -> np.ndarray:
+        """GPU ids of one job's nodes, given the machine's rank→gpu map."""
+        return allocation_order[self.job_ranks(job)]
+
+    def running_at(self, time: float) -> np.ndarray:
+        """Indices of jobs running at ``time``."""
+        return np.flatnonzero((self.start <= time) & (time < self.end))
+
+    def in_window(self, t0: float, t1: float) -> np.ndarray:
+        """Indices of jobs whose run overlaps ``[t0, t1)``."""
+        return np.flatnonzero((self.end > t0) & (self.start < t1))
+
+    def validate_allocations(self, n_gpus: int) -> None:
+        """Check every run fits the machine and sizes match ``n_nodes``."""
+        if self.run_start.size and (
+            self.run_start.min() < 0
+            or np.any(self.run_start + self.run_length > n_gpus)
+        ):
+            raise ValueError("allocation run out of machine bounds")
+        sums = np.zeros(len(self), dtype=np.int64)
+        job_of_run = np.repeat(
+            np.arange(len(self)), np.diff(self.run_offsets)
+        )
+        np.add.at(sums, job_of_run, self.run_length)
+        if not np.array_equal(sums, self.n_nodes.astype(np.int64)):
+            raise ValueError("allocation sizes disagree with n_nodes")
+
+
+class JobTraceBuilder:
+    """Accumulates jobs row by row; freeze to a :class:`JobTrace`."""
+
+    def __init__(self) -> None:
+        self._cols: dict[str, list] = {
+            name: [] for name in (*_FLOAT_COLS, *_INT_COLS)
+        }
+        self._run_counts: list[int] = []
+        self._run_start: list[int] = []
+        self._run_length: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._run_counts)
+
+    def add(
+        self,
+        *,
+        user: int,
+        submit: float,
+        start: float,
+        end: float,
+        gpu_util: float,
+        max_memory_gb: float,
+        total_memory: float,
+        n_apruns: int,
+        runs: list[tuple[int, int]],
+    ) -> int:
+        """Append one job; ``runs`` is [(rank_start, length), ...]."""
+        if end < start or start < submit:
+            raise ValueError("job times must satisfy submit <= start <= end")
+        n_nodes = sum(length for _, length in runs)
+        if n_nodes <= 0:
+            raise ValueError("job must allocate at least one node")
+        self._cols["user"].append(user)
+        self._cols["submit"].append(submit)
+        self._cols["start"].append(start)
+        self._cols["end"].append(end)
+        self._cols["n_nodes"].append(n_nodes)
+        self._cols["gpu_util"].append(gpu_util)
+        self._cols["max_memory_gb"].append(max_memory_gb)
+        self._cols["total_memory"].append(total_memory)
+        self._cols["n_apruns"].append(n_apruns)
+        self._run_counts.append(len(runs))
+        for s, l in runs:
+            self._run_start.append(s)
+            self._run_length.append(l)
+        return len(self._run_counts) - 1
+
+    def freeze(self) -> JobTrace:
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.asarray(self._run_counts, dtype=np.int64))]
+        )
+        data = {}
+        for name in _FLOAT_COLS:
+            data[name] = np.asarray(self._cols[name], dtype=np.float64)
+        for name, dtype in _INT_COLS.items():
+            data[name] = np.asarray(self._cols[name], dtype=dtype)
+        return JobTrace(
+            run_offsets=offsets,
+            run_start=np.asarray(self._run_start, dtype=np.int64),
+            run_length=np.asarray(self._run_length, dtype=np.int64),
+            **data,
+        )

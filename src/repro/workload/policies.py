@@ -1,0 +1,71 @@
+"""Allocation-ordering policies, including the temperature-aware one.
+
+Observation 4 closes with an operational lesson: "The upper cages in
+the cabinet experience more such errors than lower cages, indicating
+the possibility of temperature sensitivity. **This observation was used
+for improved job scheduling for large GPU jobs at OLCF.**"
+
+The scheduler allocates the first *n* free nodes of an ordering, so a
+policy is simply a permutation of the GPUs:
+
+* :func:`torus_order` — the default ALPS-style ordering: compact in the
+  interconnect, indifferent to temperature;
+* :func:`thermal_aware_order` — cage-major: fill the cool bottom cages
+  first, keeping torus compactness *within* each cage, so large
+  long-running jobs sit in the least error-prone third of the machine;
+* :func:`expected_thermal_exposure` — the evaluation metric: the mean
+  thermally-accelerated error weight of the first *n* allocated nodes,
+  i.e. how much hardware-error exposure a job of size *n* inherits from
+  the policy.  The ablation bench shows the thermal policy cuts large
+  jobs' DBE exposure by the cage-gradient factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+
+__all__ = ["torus_order", "thermal_aware_order", "expected_thermal_exposure"]
+
+
+def torus_order(machine: TitanMachine) -> np.ndarray:
+    """The machine's default allocation order (torus rank)."""
+    return machine.allocation_order.copy()
+
+
+def thermal_aware_order(machine: TitanMachine) -> np.ndarray:
+    """Cage-major ordering: cage 0 (coolest) first, torus rank within.
+
+    Keeps each job torus-compact as long as it fits inside one cage
+    tier (≈6,200 nodes); only machine-scale jobs spill upward into the
+    hotter cages.
+    """
+    # lexsort: primary key last -> (rank within) then cage
+    order = np.lexsort((machine.allocation_rank, machine.cage))
+    return order.astype(np.int64)
+
+
+def expected_thermal_exposure(
+    machine: TitanMachine,
+    thermal: ThermalModel,
+    ordering: np.ndarray,
+    job_nodes: int,
+    *,
+    utilization: float = 0.8,
+) -> float:
+    """Mean thermally-accelerated error weight over a job's allocation.
+
+    The fault model multiplies per-card error rates by the Arrhenius
+    factor of the card's temperature; a job allocated the first
+    ``job_nodes`` entries of ``ordering`` therefore experiences hardware
+    errors at (this value) × the fleet-average rate.
+    """
+    ordering = np.asarray(ordering)
+    if ordering.shape != (machine.n_gpus,):
+        raise ValueError("ordering must be a permutation of all GPUs")
+    if not 1 <= job_nodes <= machine.n_gpus:
+        raise ValueError("job size out of range")
+    factors = thermal.arrhenius_factor(utilization)
+    return float(factors[ordering[:job_nodes]].mean())

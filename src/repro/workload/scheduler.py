@@ -1,0 +1,158 @@
+"""FCFS batch scheduler over an interval free-list in torus-rank order.
+
+ALPS on Titan hands a job the lowest-ranked free nodes in the torus
+ordering, keeping allocations compact in the interconnect; fragmentation
+makes an allocation a handful of contiguous rank runs rather than one.
+:class:`IntervalAllocator` implements exactly that free-list, and
+:class:`Scheduler` replays a submission stream against it first-come-
+first-served (a waiting job blocks later ones, as capability schedulers
+commonly drain for big jobs; backfill would only smear the statistics
+the paper studies).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+
+__all__ = ["IntervalAllocator", "Scheduler"]
+
+
+class IntervalAllocator:
+    """Free-list of half-open rank intervals ``[start, start+len)``.
+
+    Allocation takes the lowest-ranked free intervals first; release
+    merges adjacent intervals back together.  All operations are
+    O(runs · log intervals).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._free: list[tuple[int, int]] = [(0, capacity)]  # sorted by start
+        self._free_total = capacity
+
+    @property
+    def free_count(self) -> int:
+        return self._free_total
+
+    @property
+    def fragments(self) -> int:
+        """Number of free intervals (a fragmentation measure)."""
+        return len(self._free)
+
+    def allocate(self, n: int) -> list[tuple[int, int]]:
+        """Take ``n`` ranks from the lowest-ranked free intervals.
+
+        Returns the allocated runs; raises if insufficient capacity.
+        """
+        if n <= 0:
+            raise ValueError("allocation size must be positive")
+        if n > self._free_total:
+            raise RuntimeError(f"insufficient free nodes: want {n}, "
+                               f"have {self._free_total}")
+        runs: list[tuple[int, int]] = []
+        remaining = n
+        while remaining > 0:
+            start, length = self._free[0]
+            take = min(length, remaining)
+            runs.append((start, take))
+            if take == length:
+                self._free.pop(0)
+            else:
+                self._free[0] = (start + take, length - take)
+            remaining -= take
+        self._free_total -= n
+        return runs
+
+    def release(self, runs: list[tuple[int, int]]) -> None:
+        """Return runs to the free list, merging neighbours."""
+        for start, length in runs:
+            if length <= 0:
+                raise ValueError("run length must be positive")
+            if start < 0 or start + length > self.capacity:
+                raise ValueError("run out of bounds")
+            self._insert_merged(start, length)
+            self._free_total += length
+        if self._free_total > self.capacity:
+            raise RuntimeError("double release detected")
+
+    def _insert_merged(self, start: int, length: int) -> None:
+        i = bisect_left(self._free, (start, 0))
+        # merge with predecessor
+        if i > 0:
+            pstart, plen = self._free[i - 1]
+            if pstart + plen > start:
+                raise RuntimeError("release overlaps free interval")
+            if pstart + plen == start:
+                start, length = pstart, plen + length
+                self._free.pop(i - 1)
+                i -= 1
+        # merge with successor
+        if i < len(self._free):
+            nstart, nlen = self._free[i]
+            if start + length > nstart:
+                raise RuntimeError("release overlaps free interval")
+            if start + length == nstart:
+                length += nlen
+                self._free.pop(i)
+        insort(self._free, (start, length))
+
+
+class Scheduler:
+    """FCFS replay of a job submission stream.
+
+    Parameters
+    ----------
+    capacity:
+        Number of allocatable nodes (Titan: 18,688).
+
+    The scheduler is fed ``(submit_time, duration, n_nodes)`` triples in
+    submission order via :meth:`place` and returns
+    ``(start_time, runs)`` per job.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.allocator = IntervalAllocator(capacity)
+        self.capacity = capacity
+        #: min-heap of (end_time, seq, runs) for running jobs
+        self._running: list[tuple[float, int, list[tuple[int, int]]]] = []
+        self._seq = 0
+        #: earliest time the next FCFS job may start (head-of-line rule)
+        self._frontier = 0.0
+
+    def _drain_until(self, time: float) -> None:
+        while self._running and self._running[0][0] <= time:
+            _, _, runs = heapq.heappop(self._running)
+            self.allocator.release(runs)
+
+    def place(
+        self, submit: float, duration: float, n_nodes: int
+    ) -> tuple[float, list[tuple[int, int]]]:
+        """Place one job; returns its start time and allocation runs."""
+        if n_nodes > self.capacity:
+            raise ValueError(
+                f"job requests {n_nodes} nodes on a {self.capacity}-node machine"
+            )
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        # FCFS: cannot start before the previous job started.
+        t = max(submit, self._frontier)
+        self._drain_until(t)
+        while self.allocator.free_count < n_nodes:
+            if not self._running:  # cannot happen: capacity checked above
+                raise RuntimeError("allocator empty yet capacity insufficient")
+            end, _, runs = heapq.heappop(self._running)
+            self.allocator.release(runs)
+            t = max(t, end)
+            self._drain_until(t)
+        runs = self.allocator.allocate(n_nodes)
+        heapq.heappush(self._running, (t + duration, self._seq, runs))
+        self._seq += 1
+        self._frontier = t
+        return t, runs
+
+    def utilization_now(self) -> float:
+        """Fraction of nodes currently allocated."""
+        return 1.0 - self.allocator.free_count / self.capacity

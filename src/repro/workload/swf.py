@@ -1,0 +1,129 @@
+"""Standard Workload Format (SWF) interop.
+
+SWF is the lingua franca of batch-workload archives (the Parallel
+Workloads Archive): one job per line, 18 whitespace-separated fields,
+``;`` comment headers.  Exporting the synthetic trace lets standard
+scheduler simulators replay it; importing lets real archived traces
+drive this package's fault injectors instead of the generator.
+
+Field mapping (SWF index → our column):
+
+====  =======================  ==============================
+ 1    job number               row index + 1
+ 2    submit time (s)          ``submit`` (relative to epoch)
+ 3    wait time (s)            ``start − submit``
+ 4    run time (s)             ``end − start``
+ 5    allocated processors     ``n_nodes``
+ 7    used memory (KB/proc)    ``max_memory_gb`` (per node)
+ 12   user id                  ``user`` + 1
+====  =======================  ==============================
+
+Unused SWF fields are written as ``-1`` per the spec.  Allocations are
+*not* part of SWF; an imported trace is rescheduled with the FCFS
+interval scheduler to regain node lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.units import HOUR
+from repro.workload.jobs import JobTrace, JobTraceBuilder
+from repro.workload.scheduler import Scheduler
+
+__all__ = ["to_swf", "from_swf", "reschedule"]
+
+_N_FIELDS = 18
+
+
+def to_swf(trace: JobTrace, *, header_note: str = "") -> str:
+    """Render a trace as SWF text."""
+    lines = [
+        "; SWF export from repro (Titan GPU reliability reproduction)",
+        "; UnixStartTime: 1370044800",  # 2013-06-01 (the study epoch)
+        "; MaxNodes: 18688",
+        "; Note: memory field is per-node peak, KB",
+    ]
+    if header_note:
+        lines.append(f"; {header_note}")
+    wait = trace.start - trace.submit
+    run = trace.end - trace.start
+    mem_kb = np.round(trace.max_memory_gb * 1024 * 1024).astype(np.int64)
+    for i in range(len(trace)):
+        fields = [-1] * _N_FIELDS
+        fields[0] = i + 1
+        fields[1] = int(round(float(trace.submit[i])))
+        fields[2] = int(round(float(wait[i])))
+        fields[3] = int(round(float(run[i])))
+        fields[4] = int(trace.n_nodes[i])
+        fields[6] = int(mem_kb[i])
+        fields[11] = int(trace.user[i]) + 1
+        lines.append(" ".join(str(f) for f in fields))
+    return "\n".join(lines) + "\n"
+
+
+def _parse_lines(lines: Iterable[str]) -> Iterator[list[int]]:
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        parts = line.split()
+        if len(parts) < 12:
+            raise ValueError(f"SWF line has {len(parts)} fields: {line!r}")
+        yield [int(float(p)) for p in parts]
+
+
+def from_swf(
+    text: str | Path,
+    *,
+    capacity: int = 18_688,
+    default_util: float = 0.7,
+) -> JobTrace:
+    """Parse SWF text (or a file path) and reschedule it onto the torus.
+
+    SWF carries no node lists, so allocations are regenerated with the
+    FCFS interval scheduler at the recorded submit times and runtimes
+    (recorded wait times are ignored — they belonged to the original
+    machine's contention).
+    """
+    if isinstance(text, Path):
+        text = text.read_text()
+    jobs = []
+    for fields in _parse_lines(text.splitlines()):
+        submit = float(max(fields[1], 0))
+        run = float(fields[3])
+        nodes = int(fields[4])
+        if run <= 0 or nodes <= 0:
+            continue  # cancelled / failed-at-submit entries
+        nodes = min(nodes, capacity)
+        mem_kb = fields[6]
+        mem_gb = max(mem_kb / 1024 / 1024, 0.1) if mem_kb > 0 else 1.0
+        user = max(fields[11] - 1, 0)
+        jobs.append((submit, run, nodes, mem_gb, user))
+    jobs.sort(key=lambda j: j[0])
+
+    scheduler = Scheduler(capacity)
+    builder = JobTraceBuilder()
+    for submit, run, nodes, mem_gb, user in jobs:
+        start, runs = scheduler.place(submit, run, nodes)
+        walltime_h = run / HOUR
+        builder.add(
+            user=user,
+            submit=submit,
+            start=start,
+            end=start + run,
+            gpu_util=default_util,
+            max_memory_gb=mem_gb,
+            total_memory=mem_gb * walltime_h,
+            n_apruns=1,
+            runs=runs,
+        )
+    return builder.freeze()
+
+
+def reschedule(trace: JobTrace, *, capacity: int = 18_688) -> JobTrace:
+    """Re-place an existing trace's submissions (round-trip helper)."""
+    return from_swf(to_swf(trace), capacity=capacity)

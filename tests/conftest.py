@@ -1,0 +1,29 @@
+"""Shared fixtures.
+
+Two datasets are exercised by the suite:
+
+* ``smoke_dataset`` — a fast 45-day scenario for module-level tests;
+* ``paper_dataset`` — the full 21-month paper scenario, simulated once
+  per session, for the end-to-end observation suite.
+"""
+
+import pytest
+
+from repro.sim import Scenario, default_dataset
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset():
+    return default_dataset(Scenario.smoke())
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    return default_dataset(Scenario.paper())
+
+
+@pytest.fixture(scope="session")
+def bare_machine():
+    from repro.topology.machine import TitanMachine
+
+    return TitanMachine()

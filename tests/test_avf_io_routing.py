@@ -1,0 +1,199 @@
+"""Tests for SDC/AVF accounting, .npz persistence, and torus routing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.gpu.avf import (
+    DEFAULT_UNPROTECTED_BITS,
+    FlipOutcomeMix,
+    flip_outcome_mix,
+    sdc_exposure,
+)
+from repro.gpu.k20x import K20X, MemoryStructure
+from repro.io import (
+    load_event_log,
+    load_job_trace,
+    save_event_log,
+    save_job_trace,
+)
+from repro.topology.routing import average_pairwise_hops, link_load, route
+from repro.topology.torus import GeminiTorus
+from repro.workload.jobs import JobTraceBuilder
+
+
+class TestFlipOutcomes:
+    def test_mix_sums_to_one(self):
+        mix = flip_outcome_mix()
+        assert mix.total() == pytest.approx(1.0)
+
+    def test_corrected_dominates(self):
+        """SECDED covers the overwhelming bit majority, so nearly every
+        flip is silently corrected — the paper's area argument."""
+        mix = flip_outcome_mix()
+        assert mix.corrected > 0.9
+        assert mix.potential_sdc < 1e-3
+
+    def test_double_bit_fraction_drives_crashes(self):
+        low = flip_outcome_mix(double_bit_fraction=0.01)
+        high = flip_outcome_mix(double_bit_fraction=0.10)
+        assert high.detected_crash > low.detected_crash
+
+    def test_no_unprotected_no_sdc_from_logic(self):
+        mix = flip_outcome_mix(unprotected_bits=0, double_bit_fraction=0.0)
+        # the only residual SDC channel is parity-missed even flips (0 here)
+        assert mix.potential_sdc == pytest.approx(0.0, abs=1e-12)
+
+    def test_derating_splits_unprotected(self):
+        full = flip_outcome_mix(derating=1.0)
+        none = flip_outcome_mix(derating=0.0)
+        assert none.potential_sdc == 0.0
+        assert full.masked == pytest.approx(0.0)
+        assert full.potential_sdc > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_outcome_mix(unprotected_bits=-1)
+        with pytest.raises(ValueError):
+            flip_outcome_mix(derating=1.5)
+        with pytest.raises(ValueError):
+            flip_outcome_mix(double_bit_fraction=1.0)
+
+
+class TestSdcExposure:
+    def test_rates_scale(self):
+        mix = flip_outcome_mix()
+        exp = sdc_exposure(mix, flips_per_gpu_hour=0.1)
+        assert exp.corrected_per_gpu_hour == pytest.approx(0.1 * mix.corrected)
+        assert exp.fleet_mtbf_crash_hours > 0
+        assert exp.fleet_mtt_sdc_hours > exp.fleet_mtbf_crash_hours
+
+    def test_sdc_much_rarer_than_crashes(self):
+        exp = sdc_exposure(flip_outcome_mix(), flips_per_gpu_hour=0.1)
+        assert exp.sdc_to_crash_ratio < 0.1
+
+    def test_zero_channels(self):
+        mix = FlipOutcomeMix(
+            corrected=1.0, detected_crash=0.0, parity_refetch=0.0,
+            potential_sdc=0.0, masked=0.0,
+        )
+        exp = sdc_exposure(mix, flips_per_gpu_hour=1.0)
+        assert math.isinf(exp.fleet_mtt_sdc_hours)
+        assert exp.sdc_to_crash_ratio == 0.0
+
+    def test_validation(self):
+        mix = flip_outcome_mix()
+        with pytest.raises(ValueError):
+            sdc_exposure(mix, flips_per_gpu_hour=0.0)
+        with pytest.raises(ValueError):
+            sdc_exposure(mix, flips_per_gpu_hour=1.0, fleet_size=0)
+
+
+class TestPersistence:
+    def make_log(self):
+        b = EventLogBuilder()
+        p = b.add(1.0, 2, ErrorType.DBE,
+                  structure=MemoryStructure.DEVICE_MEMORY, job=3, aux=4)
+        b.add(2.0, 2, ErrorType.PREEMPTIVE_CLEANUP, parent=p)
+        return b.freeze()
+
+    def make_trace(self):
+        b = JobTraceBuilder()
+        b.add(user=1, submit=0.0, start=1.0, end=2.0, gpu_util=0.5,
+              max_memory_gb=8.0, total_memory=4.0, n_apruns=2,
+              runs=[(0, 3), (10, 2)])
+        return b.freeze()
+
+    def test_event_log_roundtrip(self, tmp_path):
+        log = self.make_log()
+        path = save_event_log(log, tmp_path / "events.npz")
+        loaded = load_event_log(path)
+        for col in ("time", "gpu", "etype", "structure", "job", "parent", "aux"):
+            assert np.array_equal(getattr(loaded, col), getattr(log, col))
+
+    def test_job_trace_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        path = save_job_trace(trace, tmp_path / "trace.npz")
+        loaded = load_job_trace(path)
+        assert np.array_equal(loaded.run_start, trace.run_start)
+        assert np.array_equal(loaded.n_nodes, trace.n_nodes)
+        assert loaded.job_ranks(0).tolist() == trace.job_ranks(0).tolist()
+
+    def test_magic_checked(self, tmp_path):
+        log_path = save_event_log(self.make_log(), tmp_path / "e.npz")
+        with pytest.raises(ValueError):
+            load_job_trace(log_path)
+        trace_path = save_job_trace(self.make_trace(), tmp_path / "t.npz")
+        with pytest.raises(ValueError):
+            load_event_log(trace_path)
+
+    def test_plain_npz_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ValueError):
+            load_event_log(path)
+
+    def test_smoke_dataset_roundtrip(self, smoke_dataset, tmp_path):
+        path = save_event_log(smoke_dataset.events, tmp_path / "full.npz")
+        loaded = load_event_log(path)
+        assert len(loaded) == len(smoke_dataset.events)
+        assert np.array_equal(loaded.time, smoke_dataset.events.time)
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        path = route((0, 0, 0), (2, 1, 0))
+        assert path[0] == (0, 0, 0)
+        assert path[-1] == (2, 1, 0)
+        # dimension order: X moves first
+        assert path[1] == (1, 0, 0)
+        assert len(path) == 4  # 2 X hops + 1 Y hop + endpoints share
+
+    def test_route_wraps_short_way(self):
+        path = route((24, 0, 0), (0, 0, 0))
+        assert len(path) == 2  # one wraparound hop
+
+    def test_route_self(self):
+        assert route((3, 3, 3), (3, 3, 3)) == [(3, 3, 3)]
+
+    def test_route_validates(self):
+        with pytest.raises(ValueError):
+            route((25, 0, 0), (0, 0, 0))
+
+    def test_consecutive_hops_adjacent(self):
+        torus = GeminiTorus()
+        path = route((1, 2, 3), (20, 14, 22))
+        for a, b in zip(path, path[1:]):
+            assert torus.hop_distance(a, b) == 1
+
+    def test_compact_allocation_fewer_hops(self, bare_machine):
+        torus = bare_machine.torus
+        compact = bare_machine.gpu_position(
+            bare_machine.allocation_order[:512]
+        )
+        rng = np.random.default_rng(0)
+        scattered = bare_machine.gpu_position(
+            rng.choice(bare_machine.n_gpus, size=512, replace=False)
+        )
+        assert average_pairwise_hops(torus, compact) < average_pairwise_hops(
+            torus, scattered
+        )
+
+    def test_link_load_dimensions(self, bare_machine):
+        torus = bare_machine.torus
+        # all compute nodes of physical row 0 = torus X coordinate 0
+        n_row0 = int(np.count_nonzero(bare_machine.row == 0))
+        compact = bare_machine.gpu_position(
+            bare_machine.allocation_order[:n_row0]
+        )
+        load = link_load(torus, compact)
+        assert load["x"] == pytest.approx(0.0)  # single torus X coordinate
+        assert load["y"] > 0 and load["z"] > 0
+
+    def test_tiny_allocations(self):
+        torus = GeminiTorus()
+        assert average_pairwise_hops(torus, np.array([5])) == 0.0
+        assert link_load(torus, np.array([5]))["x"] == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.faults.validation import CalibrationCheck, validate_calibration
+
+
+def test_smoke_dataset_calibrated(smoke_dataset):
+    checks = validate_calibration(smoke_dataset)
+    assert checks, "expected at least the Poisson checks"
+    failing = [c for c in checks if not c.ok]
+    assert not failing, "\n".join(c.render() for c in failing)
+
+
+def test_paper_dataset_calibrated(paper_dataset):
+    checks = validate_calibration(paper_dataset)
+    names = {c.name for c in checks}
+    # full-window runs exercise every check class
+    for expected_name in (
+        "dbe_count",
+        "dbe_device_memory_share",
+        "otb_after_fix",
+        "xid59_after_upgrade",
+        "xid62_before_upgrade",
+        "xid42_count",
+        "xid43_count",
+        "xid44_count",
+        "sbe_cards_within_prone_population",
+    ):
+        assert expected_name in names
+    failing = [c for c in checks if not c.ok]
+    assert not failing, "\n".join(c.render() for c in failing)
+
+
+def test_miscalibration_detected(smoke_dataset):
+    """Lie about the configured MTBF: the validator must notice."""
+    lying = smoke_dataset.scenario.evolve(
+        rates=smoke_dataset.scenario.rates.evolve(dbe_mtbf_hours=1.0)
+    )
+    import dataclasses
+
+    forged = dataclasses.replace(smoke_dataset, scenario=lying)
+    checks = {c.name: c for c in validate_calibration(forged)}
+    assert not checks["dbe_count"].ok
+
+
+def test_render():
+    check = CalibrationCheck("x", 10.0, 11.0, 5.0, True)
+    assert "OK" in check.render() and "x" in check.render()
+    bad = CalibrationCheck("y", 10.0, 50.0, 5.0, False)
+    assert "FAIL" in bad.render()

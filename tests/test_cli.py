@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.seed == 20131001
+        assert not args.full
+
+    def test_figures_outdir(self, tmp_path):
+        args = build_parser().parse_args(
+            ["figures", "--outdir", str(tmp_path)]
+        )
+        assert args.outdir == tmp_path
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    """Each command runs end-to-end on a small window."""
+
+    ARGS = ["--days", "30", "--seed", "77"]
+
+    def test_simulate_writes_log(self, tmp_path, capsys):
+        log = tmp_path / "console.log"
+        nvsmi = tmp_path / "nvsmi.csv"
+        rc = main(["simulate", *self.ARGS, "--log-out", str(log),
+                   "--nvsmi-out", str(nvsmi)])
+        assert rc == 0
+        assert log.exists() and log.stat().st_size > 1000
+        assert "GPU XID" in log.read_text()[:5000]
+        header = nvsmi.read_text().splitlines()[0]
+        assert header == "slot,sbe,dbe,retired_pages,temp_c"
+
+    def test_figures_prints_tables(self, tmp_path, capsys):
+        rc = main(["figures", *self.ARGS, "--outdir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GPU Error" in out
+        assert "Fig. 2" in out
+        assert (tmp_path / "fig02.csv").exists()
+
+    def test_observations_scorecard(self, capsys):
+        rc = main(["observations", "--days", "90", "--seed", "20131001"])
+        out = capsys.readouterr().out
+        assert "observation checks pass" in out
+        assert rc == 0
+
+    def test_fleet_health(self, capsys):
+        rc = main(["fleet-health", *self.ARGS, "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ledger anomalies" in out
+        assert out.count("c") > 3  # cnames printed
+
+
+class TestCalibrationCommand:
+    def test_calibration_passes(self, capsys):
+        rc = main(["calibration", "--days", "45", "--seed", "20131001"])
+        out = capsys.readouterr().out
+        assert "calibration checks pass" in out
+        assert rc == 0

@@ -1,0 +1,117 @@
+"""Tests for parent/child event filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import (
+    dedup_by_card,
+    first_of_each_card,
+    sequential_dedup,
+    split_parents_children,
+)
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+
+
+def make_log(times, gpus=None, jobs=None, etype=ErrorType.GRAPHICS_ENGINE_EXCEPTION):
+    b = EventLogBuilder()
+    for i, t in enumerate(times):
+        b.add(
+            float(t),
+            int(gpus[i]) if gpus is not None else i % 5,
+            etype,
+            job=int(jobs[i]) if jobs is not None else -1,
+        )
+    return b.freeze().sorted_by_time()
+
+
+class TestSequentialDedup:
+    def test_five_second_window(self):
+        # burst of echoes at t=0..4, then a new parent at t=100
+        log = make_log([0.0, 1.0, 2.0, 3.0, 100.0])
+        result = sequential_dedup(log, 5.0)
+        assert result.n_kept == 2
+        assert result.kept.time.tolist() == [0.0, 100.0]
+        assert result.n_dropped == 3
+
+    def test_window_resets_on_kept_event(self):
+        # events every 3 s: with a 5 s window, keep every other one
+        log = make_log([0.0, 3.0, 6.0, 9.0, 12.0])
+        result = sequential_dedup(log, 5.0)
+        assert result.kept.time.tolist() == [0.0, 6.0, 12.0]
+
+    def test_zero_window_keeps_all(self):
+        log = make_log([0.0, 0.1, 0.2])
+        assert sequential_dedup(log, 0.0).n_kept == 3
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_dedup(make_log([0.0]), -1.0)
+
+    def test_unsorted_rejected(self):
+        b = EventLogBuilder()
+        b.add(10.0, 0, ErrorType.DBE)
+        b.add(5.0, 0, ErrorType.DBE)
+        with pytest.raises(ValueError):
+            sequential_dedup(b.freeze(), 5.0)
+
+    def test_per_job_mode(self):
+        # two jobs interleaved: global filter would suppress job B's event
+        log = make_log([0.0, 1.0, 2.0], jobs=[7, 8, 7])
+        result = sequential_dedup(log, 5.0, per_job=True)
+        assert result.n_kept == 2
+        assert set(result.kept.job.tolist()) == {7, 8}
+
+    def test_per_job_keeps_untagged(self):
+        log = make_log([0.0, 1.0], jobs=[-1, -1])
+        assert sequential_dedup(log, 5.0, per_job=True).n_kept == 2
+
+    def test_split_halves_partition(self):
+        log = make_log([0.0, 1.0, 50.0, 51.0])
+        parents, children = split_parents_children(log, 5.0)
+        assert len(parents) + len(children) == len(log)
+        assert parents.time.tolist() == [0.0, 50.0]
+        assert children.time.tolist() == [1.0, 51.0]
+
+    def test_idempotent(self):
+        """Filtering an already-filtered stream changes nothing."""
+        log = make_log(np.sort(np.random.default_rng(0).uniform(0, 1e4, 200)))
+        once = sequential_dedup(log, 5.0).kept
+        twice = sequential_dedup(once, 5.0).kept
+        assert np.array_equal(once.time, twice.time)
+
+    @given(
+        times=st.lists(
+            st.floats(0, 1e5, allow_nan=False), min_size=1, max_size=80
+        ),
+        window=st.floats(0.1, 1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_kept_gaps_exceed_window(self, times, window):
+        log = make_log(sorted(times))
+        kept = sequential_dedup(log, window).kept
+        gaps = np.diff(kept.time)
+        assert np.all(gaps >= window)
+        # first event is always kept
+        assert kept.time[0] == min(times)
+
+
+class TestDedupByCard:
+    def test_one_per_card(self):
+        log = make_log([0.0, 1.0, 2.0, 3.0], gpus=[5, 5, 6, 5])
+        result = dedup_by_card(log)
+        assert result.n_kept == 2
+        assert result.kept.gpu.tolist() == [5, 6]
+        # the *first* event of each card survives
+        assert result.kept.time.tolist() == [0.0, 2.0]
+
+    def test_shorthand(self):
+        log = make_log([0.0, 1.0], gpus=[1, 1])
+        assert len(first_of_each_card(log)) == 1
+
+    def test_empty(self):
+        from repro.errors.event import EventLog
+
+        assert dedup_by_card(EventLog.empty()).n_kept == 0

@@ -1,0 +1,149 @@
+"""Tests for the follow-probability heatmap and retirement-delay analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import DEFAULT_HEATMAP_TYPES, follow_probability_matrix
+from repro.core.retirement import retirement_delay_analysis
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.units import HOUR, MINUTE
+
+
+def build(events):
+    b = EventLogBuilder()
+    for t, gpu, etype in events:
+        b.add(float(t), gpu, etype)
+    return b.freeze().sorted_by_time()
+
+
+class TestFollowMatrix:
+    def test_simple_follow(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (10.0, 1, ErrorType.PREEMPTIVE_CLEANUP),
+            (1000.0, 2, ErrorType.DBE),  # no follower
+        ])
+        fm = follow_probability_matrix(log, window_s=300.0)
+        assert fm.value(ErrorType.DBE, ErrorType.PREEMPTIVE_CLEANUP) == 0.5
+        # cleanup at t=10; the next DBE is 990 s later, outside the window
+        assert fm.value(ErrorType.PREEMPTIVE_CLEANUP, ErrorType.DBE) == 0.0
+
+    def test_follow_window_boundary(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (300.0, 1, ErrorType.GPU_STOPPED),  # exactly at window edge
+        ])
+        fm = follow_probability_matrix(log, window_s=300.0)
+        assert fm.value(ErrorType.DBE, ErrorType.GPU_STOPPED) == 1.0
+
+    def test_diagonal_excludes_self(self):
+        log = build([(0.0, 1, ErrorType.DBE)])
+        fm = follow_probability_matrix(log, window_s=300.0)
+        assert fm.value(ErrorType.DBE, ErrorType.DBE) == 0.0
+
+    def test_diagonal_same_type_repeats(self):
+        log = build([
+            (0.0, 1, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+            (1.0, 2, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+            (2.0, 3, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+        ])
+        fm = follow_probability_matrix(log, window_s=300.0)
+        # first two are each followed by another 13; last is not
+        assert fm.value(
+            ErrorType.GRAPHICS_ENGINE_EXCEPTION, ErrorType.GRAPHICS_ENGINE_EXCEPTION
+        ) == pytest.approx(2 / 3)
+
+    def test_without_same_type(self):
+        log = build([
+            (0.0, 1, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+            (1.0, 2, ErrorType.GRAPHICS_ENGINE_EXCEPTION),
+        ])
+        fm = follow_probability_matrix(log, window_s=300.0).without_same_type()
+        assert fm.value(
+            ErrorType.GRAPHICS_ENGINE_EXCEPTION, ErrorType.GRAPHICS_ENGINE_EXCEPTION
+        ) == 0.0
+
+    def test_counts_and_labels(self):
+        log = build([(0.0, 1, ErrorType.DBE)])
+        fm = follow_probability_matrix(log)
+        assert fm.types == DEFAULT_HEATMAP_TYPES
+        i = fm.types.index(ErrorType.DBE)
+        assert fm.counts[i] == 1
+        assert "48" in fm.labels()
+        assert "OFF_THE_BUS" in fm.labels()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            follow_probability_matrix(build([(0.0, 1, ErrorType.DBE)]), window_s=0.0)
+
+    def test_values_are_probabilities(self):
+        rng = np.random.default_rng(3)
+        events = [
+            (float(t), int(rng.integers(10)), ErrorType.GPU_STOPPED)
+            for t in rng.uniform(0, 1e6, 200)
+        ]
+        fm = follow_probability_matrix(build(events))
+        assert np.all(fm.matrix >= 0.0) and np.all(fm.matrix <= 1.0)
+
+
+class TestRetirementDelay:
+    def test_dbe_triggered_bucket(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (2 * MINUTE, 1, ErrorType.ECC_PAGE_RETIREMENT),
+        ])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        assert report.n_within_10min == 1
+        assert report.n_beyond_6h == 0
+
+    def test_double_sbe_bucket(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (10 * HOUR, 2, ErrorType.ECC_PAGE_RETIREMENT),
+        ])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        assert report.n_beyond_6h == 1
+
+    def test_middle_bucket(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (1 * HOUR, 2, ErrorType.ECC_PAGE_RETIREMENT),
+        ])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        assert report.n_10min_to_6h == 1
+
+    def test_orphan_retirement(self):
+        log = build([(5.0, 1, ErrorType.ECC_PAGE_RETIREMENT)])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        assert report.n_retirements_without_preceding_dbe == 1
+        assert report.n_retirements == 1
+
+    def test_pre_rollout_dbes_ignored(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),  # before rollout
+            (100.0, 2, ErrorType.ECC_PAGE_RETIREMENT),
+        ])
+        report = retirement_delay_analysis(log, active_from=50.0)
+        assert report.n_retirements_without_preceding_dbe == 1
+        assert report.delays_s.size == 0
+
+    def test_gap_pairs(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (1000.0, 2, ErrorType.DBE),  # no retirement between -> gap pair
+            (1500.0, 2, ErrorType.ECC_PAGE_RETIREMENT),
+            (2000.0, 3, ErrorType.DBE),  # retirement between -> not a gap
+        ])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        assert report.n_dbe_pairs_without_retirement == 1
+
+    def test_histogram(self):
+        log = build([
+            (0.0, 1, ErrorType.DBE),
+            (60.0, 1, ErrorType.ECC_PAGE_RETIREMENT),
+            (7 * HOUR, 2, ErrorType.ECC_PAGE_RETIREMENT),
+        ])
+        report = retirement_delay_analysis(log, active_from=0.0)
+        edges = np.array([0.0, 10 * MINUTE, 6 * HOUR, 1e9])
+        assert report.histogram(edges).tolist() == [1, 0, 1]

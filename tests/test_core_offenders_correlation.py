@@ -1,0 +1,196 @@
+"""Tests for offender exclusion, correlation reports and Fig 21 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    sbe_resource_correlations,
+    sorted_curves,
+    user_level_correlation,
+)
+from repro.core.offenders import (
+    exclude_jobs_using,
+    exclude_slots,
+    jobs_using_slots,
+    offender_slots,
+)
+from repro.core.workload_analysis import panel_curves, workload_characteristics
+from repro.workload.jobs import JobTraceBuilder
+
+
+class TestOffenderSlots:
+    def test_ranking(self):
+        sbe = np.array([0, 5, 2, 9, 9, 0])
+        top = offender_slots(sbe, 3)
+        assert top.tolist() == [3, 4, 1]  # ties broken by slot id
+
+    def test_zero_k(self):
+        assert offender_slots(np.ones(4), 0).size == 0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            offender_slots(np.ones(4), -1)
+
+    def test_exclude_slots(self):
+        sbe = np.array([1, 2, 3])
+        out = exclude_slots(sbe, np.array([1]))
+        assert out.tolist() == [1, 0, 3]
+        assert sbe[1] == 2  # original untouched
+
+
+def make_trace_with_runs(runs_per_job):
+    b = JobTraceBuilder()
+    for i, runs in enumerate(runs_per_job):
+        b.add(user=i, submit=0.0, start=float(i), end=float(i) + 10.0,
+              gpu_util=0.5, max_memory_gb=1.0, total_memory=1.0,
+              n_apruns=1, runs=runs)
+    return b.freeze()
+
+
+class TestJobsUsingSlots:
+    def test_membership(self):
+        trace = make_trace_with_runs([[(0, 10)], [(20, 5)], [(10, 10)]])
+        # identity rank map: slot == rank
+        rank = np.arange(100)
+        mask = jobs_using_slots(trace, np.array([22]), rank)
+        assert mask.tolist() == [False, True, False]
+
+    def test_multiple_slots(self):
+        trace = make_trace_with_runs([[(0, 10)], [(20, 5)], [(10, 10)]])
+        rank = np.arange(100)
+        mask = jobs_using_slots(trace, np.array([5, 12]), rank)
+        assert mask.tolist() == [True, False, True]
+
+    def test_empty_slots(self):
+        trace = make_trace_with_runs([[(0, 10)]])
+        assert not jobs_using_slots(trace, np.array([], dtype=int), np.arange(20)).any()
+
+    def test_nonidentity_rank_map(self):
+        trace = make_trace_with_runs([[(0, 2)]])  # ranks 0,1
+        rank = np.array([5, 0, 1, 2])  # gpu 1 has rank 0
+        mask = jobs_using_slots(trace, np.array([1]), rank)
+        assert mask.tolist() == [True]
+        mask2 = jobs_using_slots(trace, np.array([0]), rank)  # gpu 0 -> rank 5
+        assert mask2.tolist() == [False]
+
+    def test_exclude_jobs_using(self):
+        trace = make_trace_with_runs([[(0, 10)], [(20, 5)], [(10, 10)]])
+        rank = np.arange(100)
+        arrays = {
+            "sbe": np.array([10, 20, 30]),
+            "n_nodes": np.array([10, 5, 10]),
+        }
+        out = exclude_jobs_using(
+            arrays, trace, np.array([22]), rank, np.array([0, 1, 2])
+        )
+        assert out["sbe"].tolist() == [10, 30]
+
+
+class TestCorrelationReport:
+    def make_arrays(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        nodes = rng.integers(1, 1000, n).astype(float)
+        hours = nodes * rng.uniform(0.5, 2.0, n)
+        sbe = rng.poisson(hours / 200.0)
+        return {
+            "job": np.arange(n),
+            "user": rng.integers(0, 20, n),
+            "n_nodes": nodes,
+            "gpu_core_hours": hours,
+            "max_memory_gb": rng.uniform(1, 32, n),
+            "total_memory": rng.uniform(1, 500, n),
+            "walltime_h": rng.uniform(0.1, 24, n),
+            "sbe": sbe,
+        }
+
+    def test_report_structure(self):
+        arrays = self.make_arrays()
+        report = sbe_resource_correlations(arrays)
+        assert set(report.all_jobs) == {
+            "max_memory_gb", "total_memory", "n_nodes", "gpu_core_hours"
+        }
+        assert report.all_jobs["gpu_core_hours"].spearman > 0.5
+        assert abs(report.all_jobs["max_memory_gb"].spearman) < 0.2
+        assert report.excluding_offenders == {}
+
+    def test_with_exclusion(self):
+        arrays = self.make_arrays()
+        excluded = {k: v[:200] for k, v in arrays.items()}
+        report = sbe_resource_correlations(arrays, excluded_arrays=excluded)
+        assert report.excluding_offenders["n_nodes"].n_jobs == 200
+
+    def test_p_values(self):
+        arrays = self.make_arrays(n=150)
+        rng = np.random.default_rng(1)
+        report = sbe_resource_correlations(arrays, rng=rng)
+        assert report.all_jobs["gpu_core_hours"].p_value < 0.05
+
+    def test_sorted_curves(self):
+        metric = np.array([3.0, 1.0, 2.0])
+        sbe = np.array([30, 10, 20])
+        m, s = sorted_curves(metric, sbe)
+        assert np.all(np.diff(m) >= 0)  # sorted ascending
+        assert m.mean() == pytest.approx(1.0)
+        assert s.mean() == pytest.approx(1.0)
+
+    def test_sorted_curves_zero_sbe(self):
+        m, s = sorted_curves(np.array([1.0, 2.0]), np.array([0, 0]))
+        assert s.tolist() == [0.0, 0.0]
+
+    def test_user_level_aggregation(self):
+        arrays = self.make_arrays()
+        result = user_level_correlation(arrays)
+        assert result.n_users <= 20
+        assert result.core_hours_by_user.shape == (result.n_users,)
+        # aggregation strengthens (or keeps) rank correlation
+        assert result.spearman > 0.4
+
+    def test_user_level_empty(self):
+        arrays = {k: np.array([]) for k in self.make_arrays()}
+        with pytest.raises(ValueError):
+            user_level_correlation(arrays)
+
+
+class TestWorkloadCharacteristics:
+    def make_trace(self, n=2000, seed=3):
+        rng = np.random.default_rng(seed)
+        b = JobTraceBuilder()
+        for i in range(n):
+            kind = rng.random()
+            if kind < 0.1:  # memory hog: small, short, heavy per node
+                nodes = int(rng.integers(1, 64))
+                wall = rng.uniform(0.2, 2.0)
+                mem = rng.uniform(24, 32)
+            elif kind < 0.25:  # marathon: small but the longest walltimes
+                nodes = int(rng.integers(1, 48))
+                wall = rng.uniform(18.0, 24.0)
+                mem = rng.uniform(1, 12)
+            else:  # ordinary/capability
+                nodes = int(rng.integers(1, 4000))
+                wall = rng.uniform(0.5, 16.0)
+                mem = rng.uniform(1, 12)
+            b.add(user=i % 50, submit=0.0, start=0.0, end=wall * 3600,
+                  gpu_util=0.6, max_memory_gb=mem, total_memory=mem * wall,
+                  n_apruns=1, runs=[(0, nodes)])
+        return b.freeze()
+
+    def test_observation_14(self):
+        chars = workload_characteristics(self.make_trace())
+        assert chars.observation_14_holds()
+        assert chars.top_memory_jobs_core_hour_ratio < 1.0
+        assert chars.top_memory_jobs_node_ratio < 1.0
+        assert chars.nodes_vs_core_hours_spearman > 0.3
+
+    def test_small_trace_rejected(self):
+        with pytest.raises(ValueError):
+            workload_characteristics(self.make_trace(n=10))
+
+    def test_panel_curves(self):
+        a, b = panel_curves(
+            np.array([3.0, 1.0, 2.0]),
+            np.array([3.0, 1.0, 2.0]),
+            np.array([6.0, 2.0, 4.0]),
+        )
+        assert np.all(np.diff(a) > 0)
+        assert a.mean() == pytest.approx(1.0)
+        assert np.allclose(a, b)

@@ -1,0 +1,179 @@
+"""Tests for temporal and spatial characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.burst import burstiness_metrics, daily_counts
+from repro.core.spatial import (
+    cabinet_grid_from_events,
+    cage_distribution,
+    distinct_card_cage_distribution,
+    grid_alternation_score,
+    grid_skewness,
+    per_slot_cage_distribution,
+    row_profile,
+    uniformity_chi2,
+)
+from repro.core.temporal import (
+    events_before_after,
+    interarrival_hours,
+    monthly_counts,
+    mtbf_hours,
+)
+from repro.errors.event import EventLog, EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.topology.machine import TitanMachine
+from repro.units import DAY, HOUR, STUDY_END, month_bounds
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return TitanMachine()
+
+
+def make_log(times, gpus=None, etype=ErrorType.DBE):
+    b = EventLogBuilder()
+    for i, t in enumerate(times):
+        b.add(float(t), int(gpus[i]) if gpus is not None else 0, etype)
+    return b.freeze().sorted_by_time()
+
+
+class TestTemporal:
+    def test_monthly_counts(self):
+        t0 = month_bounds(0)[0] + 10
+        t5 = month_bounds(5)[0] + 10
+        log = make_log([t0, t0 + 1, t5])
+        counts = monthly_counts(log)
+        assert counts.shape == (21,)
+        assert counts[0] == 2 and counts[5] == 1
+        assert counts.sum() == 3
+
+    def test_monthly_counts_type_filter(self):
+        b = EventLogBuilder()
+        b.add(10.0, 0, ErrorType.DBE)
+        b.add(20.0, 0, ErrorType.OFF_THE_BUS)
+        log = b.freeze()
+        assert monthly_counts(log, ErrorType.DBE).sum() == 1
+
+    def test_monthly_ignores_out_of_window(self):
+        log = make_log([STUDY_END + 100.0])
+        assert monthly_counts(log).sum() == 0
+
+    def test_mtbf_with_span(self):
+        log = make_log(np.linspace(0, 100 * HOUR, 11))
+        assert mtbf_hours(log, span_s=110 * HOUR) == pytest.approx(10.0)
+
+    def test_mtbf_from_extent(self):
+        log = make_log([0.0, 10 * HOUR, 20 * HOUR])
+        assert mtbf_hours(log) == pytest.approx(10.0)
+
+    def test_mtbf_validation(self):
+        with pytest.raises(ValueError):
+            mtbf_hours(EventLog.empty())
+        with pytest.raises(ValueError):
+            mtbf_hours(make_log([1.0]))
+        with pytest.raises(ValueError):
+            mtbf_hours(make_log([1.0, 2.0]), span_s=0.0)
+
+    def test_interarrival(self):
+        log = make_log([0.0, HOUR, 3 * HOUR])
+        assert interarrival_hours(log).tolist() == [1.0, 2.0]
+
+    def test_before_after(self):
+        log = make_log([1.0, 2.0, 3.0, 4.0])
+        assert events_before_after(log, 2.5) == (2, 2)
+
+
+class TestBurst:
+    def test_daily_counts(self):
+        log = make_log([0.0, 1.0, DAY + 1.0])
+        counts = daily_counts(log, 0.0, 2 * DAY)
+        assert counts.tolist() == [2, 1]
+
+    def test_daily_counts_validation(self):
+        with pytest.raises(ValueError):
+            daily_counts(make_log([0.0]), 10.0, 10.0)
+
+    def test_poisson_not_bursty(self):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 100 * DAY, 500))
+        metrics = burstiness_metrics(make_log(times), 0.0, 100 * DAY)
+        assert not metrics.is_bursty
+        assert metrics.daily_fano == pytest.approx(1.0, abs=0.5)
+
+    def test_clustered_is_bursty(self):
+        rng = np.random.default_rng(2)
+        # 10 bursts of 50 events each
+        centers = rng.uniform(0, 100 * DAY, 10)
+        times = np.sort(
+            (centers[:, None] + rng.exponential(600, (10, 50))).ravel()
+        )
+        metrics = burstiness_metrics(make_log(times), 0.0, 100 * DAY)
+        assert metrics.is_bursty
+        assert metrics.peak_day_share > 0.05
+
+    def test_tiny_stream(self):
+        metrics = burstiness_metrics(make_log([5.0]), 0.0, DAY)
+        assert metrics.n_events == 1
+        assert not metrics.is_bursty
+
+
+class TestSpatial:
+    def test_grid_totals(self, machine):
+        gpus = [0, 0, 1, 18_687]
+        log = make_log([1.0, 2.0, 3.0, 4.0], gpus=gpus)
+        grid = cabinet_grid_from_events(log, machine)
+        assert grid.shape == (25, 8)
+        assert grid.sum() == 4
+        assert grid[machine.row[0], machine.col[0]] >= 3
+
+    def test_cage_distribution(self, machine):
+        # pick one gpu per cage
+        per_cage_gpu = [
+            int(np.flatnonzero(machine.cage == c)[0]) for c in range(3)
+        ]
+        log = make_log([1.0, 2.0, 3.0, 4.0],
+                       gpus=[per_cage_gpu[0], per_cage_gpu[2],
+                             per_cage_gpu[2], per_cage_gpu[1]])
+        assert cage_distribution(log, machine).tolist() == [1, 1, 2]
+        assert distinct_card_cage_distribution(log, machine).tolist() == [1, 1, 1]
+
+    def test_per_slot_cage_distribution(self, machine):
+        per_slot = np.zeros(machine.n_gpus, dtype=np.int64)
+        gpu_top = int(np.flatnonzero(machine.cage == 2)[0])
+        per_slot[gpu_top] = 10
+        events = per_slot_cage_distribution(per_slot, machine)
+        assert events.tolist() == [0, 0, 10]
+        distinct = per_slot_cage_distribution(per_slot, machine, distinct=True)
+        assert distinct.tolist() == [0, 0, 1]
+
+    def test_skewness(self):
+        assert grid_skewness(np.ones((25, 8))) == 0.0
+        spike = np.zeros((25, 8))
+        spike[0, 0] = 100
+        assert grid_skewness(spike) > 5
+        assert grid_skewness(np.zeros((2, 2))) == 0.0
+
+    def test_alternation_score_even_bias(self):
+        grid = np.zeros((25, 8))
+        grid[0::2, :] = 10  # even rows dense
+        assert grid_alternation_score(grid) == pytest.approx(1.0)
+        grid2 = np.ones((25, 8))
+        assert grid_alternation_score(grid2) == pytest.approx(0.0, abs=1e-9)
+        grid3 = np.zeros((25, 8))
+        grid3[1::2, :] = 10
+        assert grid_alternation_score(grid3) == pytest.approx(-1.0)
+
+    def test_alternation_zero_grid(self):
+        assert grid_alternation_score(np.zeros((25, 8))) == 0.0
+
+    def test_row_profile(self):
+        grid = np.arange(200).reshape(25, 8)
+        assert row_profile(grid).shape == (25,)
+        assert row_profile(grid)[0] == sum(range(8))
+
+    def test_uniformity_chi2(self):
+        assert uniformity_chi2(np.ones((5, 5))) == 0.0
+        spike = np.zeros((5, 5))
+        spike[0, 0] = 25
+        assert uniformity_chi2(spike) > 100

@@ -1,0 +1,105 @@
+"""Tests for the XID catalog (Tables 1 & 2)."""
+
+from repro.errors.xid import (
+    Cause,
+    ErrorType,
+    by_xid,
+    from_code,
+    hardware_error_types,
+    software_error_types,
+    table1_rows,
+    table2_rows,
+)
+
+
+def test_table1_membership():
+    hw = set(hardware_error_types())
+    for t in (
+        ErrorType.SBE,
+        ErrorType.DBE,
+        ErrorType.OFF_THE_BUS,
+        ErrorType.DISPLAY_ENGINE,
+        ErrorType.VMEM_PROGRAMMING,
+        ErrorType.VMEM_UNSTABLE,
+        ErrorType.ECC_PAGE_RETIREMENT,
+        ErrorType.VIDEO_PROCESSOR,
+    ):
+        assert t in hw
+
+
+def test_table2_xids_match_paper():
+    xids = sorted(t.xid for t in software_error_types())
+    assert xids == [13, 31, 32, 38, 42, 43, 44, 45, 57, 58, 59, 62]
+
+
+def test_key_xid_codes():
+    assert ErrorType.DBE.xid == 48
+    assert ErrorType.GRAPHICS_ENGINE_EXCEPTION.xid == 13
+    assert ErrorType.GPU_STOPPED.xid == 43
+    assert ErrorType.PREEMPTIVE_CLEANUP.xid == 45
+    assert ErrorType.ECC_PAGE_RETIREMENT.xid == 63
+    assert ErrorType.ECC_PAGE_RETIREMENT_FAILURE.xid == 64
+
+
+def test_unnumbered_types():
+    assert ErrorType.SBE.xid is None
+    assert ErrorType.OFF_THE_BUS.xid is None
+
+
+def test_crash_semantics():
+    assert ErrorType.DBE.crashes  # SECDED always crashes on DBE
+    assert not ErrorType.SBE.crashes
+    assert ErrorType.OFF_THE_BUS.crashes  # host loses the GPU
+    assert not ErrorType.ECC_PAGE_RETIREMENT.crashes
+    assert not ErrorType.PREEMPTIVE_CLEANUP.crashes
+    assert ErrorType.GRAPHICS_ENGINE_EXCEPTION.crashes
+
+
+def test_dual_listed_types():
+    # 57 and 58 appear in both tables
+    for t in (ErrorType.VMEM_PROGRAMMING, ErrorType.VMEM_UNSTABLE):
+        assert t.hardware and t.software
+
+
+def test_by_xid():
+    assert by_xid(48) == (ErrorType.DBE,)
+    assert by_xid(13) == (ErrorType.GRAPHICS_ENGINE_EXCEPTION,)
+    assert by_xid(999) == ()
+
+
+def test_code_roundtrip():
+    for t in ErrorType:
+        assert from_code(t.code) is t
+
+
+def test_codes_stable_and_unique():
+    codes = [t.code for t in ErrorType]
+    assert len(set(codes)) == len(codes)
+    assert ErrorType.SBE.code == 0  # storage format stability
+    assert ErrorType.DBE.code == 1
+
+
+def test_xid13_causes_include_app_and_thermal():
+    causes = ErrorType.GRAPHICS_ENGINE_EXCEPTION.causes
+    assert Cause.USER_APP in causes
+    assert Cause.THERMAL in causes
+    # Observation 8: hardware can masquerade as XID 13
+    assert Cause.HARDWARE in causes
+
+
+def test_table1_rows_render():
+    rows = dict(table1_rows())
+    assert rows["Single Bit Error (corrected by the SECDED ECC)"] == "-"
+    assert rows["ECC page retirement error"] == "63,64"
+    assert rows["Off the Bus"] == "-"
+
+
+def test_table2_rows_render():
+    rows = table2_rows()
+    assert ("Graphics Engine Exception", 13) in rows
+    assert len(rows) == 12
+
+
+def test_labels_nonempty():
+    for t in ErrorType:
+        assert t.label

@@ -1,0 +1,328 @@
+"""Tests for the hardware/software/SBE injectors and cascades.
+
+These run on a short window with scaled-up rates so each assertion has
+enough events to be stable, without paying for a full 21-month sim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.faults.cascade import CascadeModel
+from repro.faults.hardware import HardwareInjector
+from repro.faults.rates import RateConfig
+from repro.faults.sbe import SbeInjector
+from repro.faults.software import SoftwareInjector
+from repro.gpu.fleet import GPUFleet
+from repro.rng import RngTree
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+from repro.units import DAY
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.lookup import JobLocator
+
+WINDOW = 60 * DAY
+
+
+@pytest.fixture(scope="module")
+def env():
+    tree = RngTree(99)
+    machine = TitanMachine()
+    fleet = GPUFleet(machine.n_gpus, tree.fresh_generator("fleet"))
+    thermal = ThermalModel(machine.cage, tree.fresh_generator("thermal"))
+    gen = WorkloadGenerator(
+        WorkloadConfig(n_users=40, jobs_per_day=60.0, end_time=WINDOW),
+        tree.fresh_generator("wl"),
+    )
+    trace = gen.generate()
+    locator = JobLocator(trace, machine.allocation_rank)
+    return tree, machine, fleet, thermal, gen, trace, locator
+
+
+class TestHardwareInjector:
+    def make(self, env, rates=None, name="hw"):
+        tree, machine, fleet, thermal, *_ = env
+        return HardwareInjector(
+            machine, fleet, thermal,
+            rates or RateConfig(),
+            tree.fresh_generator(name),
+        )
+
+    def test_dbe_count_tracks_mtbf(self, env):
+        # 10x rate for statistical stability over 60 days
+        rates = RateConfig().evolve(dbe_mtbf_hours=16.0)
+        injector = self.make(env, rates, "hw.mtbf")
+        builder = EventLogBuilder()
+        out = injector.inject_dbes(0.0, WINDOW, builder)
+        expected = WINDOW / 3600 / 16.0
+        assert out.n_dbe == pytest.approx(expected, rel=0.25)
+
+    def test_dbe_structure_split(self, env):
+        rates = RateConfig().evolve(dbe_mtbf_hours=2.0)  # many events
+        injector = self.make(env, rates, "hw.split")
+        builder = EventLogBuilder()
+        injector.inject_dbes(0.0, WINDOW, builder)
+        log = builder.freeze().of_type(ErrorType.DBE)
+        from repro.errors.event import STRUCTURE_CODES
+        from repro.gpu.k20x import MemoryStructure
+
+        dev = np.count_nonzero(
+            log.structure == STRUCTURE_CODES[MemoryStructure.DEVICE_MEMORY]
+        )
+        assert dev / len(log) == pytest.approx(0.86, abs=0.04)
+
+    def test_dbe_cage_gradient(self, env):
+        tree, machine, fleet, thermal, *_ = env
+        rates = RateConfig().evolve(dbe_mtbf_hours=1.0)
+        injector = self.make(env, rates, "hw.cage")
+        builder = EventLogBuilder()
+        injector.inject_dbes(0.0, WINDOW, builder)
+        log = builder.freeze().of_type(ErrorType.DBE)
+        cages = machine.cage[log.gpu]
+        top = np.count_nonzero(cages == 2)
+        bottom = np.count_nonzero(cages == 0)
+        assert top > bottom * 1.2  # clear thermal skew
+
+    def test_replacement_policy(self, env):
+        tree, machine, fleet, thermal, *_ = env
+        rates = RateConfig().evolve(dbe_mtbf_hours=1.0, dbe_repeat_boost=500.0)
+        injector = self.make(env, rates, "hw.replace")
+        builder = EventLogBuilder()
+        out = injector.inject_dbes(0.0, WINDOW, builder)
+        # huge repeat boost -> cards reach the threshold and get swapped
+        assert len(out.replaced_slots) > 0
+        from repro.gpu.card import CardState
+
+        assert fleet.n_cards_in_state(CardState.HOT_SPARE) >= len(
+            out.replaced_slots
+        )
+
+    def test_retirement_only_after_rollout(self, env):
+        tree, machine, _, thermal, *_ = env
+        rates = RateConfig().evolve(
+            dbe_mtbf_hours=2.0, retirement_active_from=WINDOW / 2,
+            retirement_log_probability=1.0,
+        )
+        # The fleet's per-card trackers must carry the same rollout time.
+        fleet = GPUFleet(
+            machine.n_gpus,
+            tree.fresh_generator("fleet.rollout"),
+            retirement_active_from=rates.retirement_active_from,
+        )
+        injector = HardwareInjector(
+            machine, fleet, thermal, rates, tree.fresh_generator("hw.rollout")
+        )
+        builder = EventLogBuilder()
+        injector.inject_dbes(0.0, WINDOW, builder)
+        retired = builder.freeze().of_type(ErrorType.ECC_PAGE_RETIREMENT)
+        assert len(retired) > 0
+        assert retired.time.min() >= WINDOW / 2
+
+    def test_otb_fix_quenches_stream(self, env):
+        rates = RateConfig().evolve(otb_fix_time=WINDOW / 2)
+        injector = self.make(env, rates, "hw.otb")
+        builder = EventLogBuilder()
+        n = injector.inject_off_the_bus(0.0, WINDOW, builder)
+        log = builder.freeze()
+        before = np.count_nonzero(log.time < WINDOW / 2)
+        after = n - before
+        assert before > 5 * max(after, 1)
+
+    def test_otb_rarely_repeats_per_card(self, env):
+        rates = RateConfig().evolve(otb_fix_time=None)
+        injector = self.make(env, rates, "hw.otbrep")
+        builder = EventLogBuilder()
+        n = injector.inject_off_the_bus(0.0, WINDOW, builder)
+        log = builder.freeze()
+        assert n > 10
+        # nearly every event lands on a distinct card
+        assert log.unique_gpus().size >= 0.95 * n
+
+
+class TestSoftwareInjector:
+    def make(self, env, rates=None, name="sw"):
+        tree, machine, fleet, thermal, gen, trace, locator = env
+        return SoftwareInjector(
+            machine, gen.users, rates or RateConfig(), tree.fresh_generator(name)
+        )
+
+    def test_app_errors_attach_to_jobs(self, env):
+        *_, trace, locator = env
+        injector = self.make(env, name="sw.jobs")
+        builder = EventLogBuilder()
+        counts = injector.inject_application(0.0, WINDOW, builder, locator)
+        log = builder.freeze().of_type(ErrorType.GRAPHICS_ENGINE_EXCEPTION)
+        assert counts["xid13"] > 0
+        # every regular XID 13 carries a job id (bad-node ones may not)
+        jobs = log.job[log.gpu != RateConfig().bad_xid13_gpu]
+        assert np.all(jobs >= 0)
+
+    def test_bad_node_fires_regardless(self, env):
+        *_, locator = env
+        rates = RateConfig().evolve(bad_xid13_rate_per_hour=0.05)
+        injector = self.make(env, rates, "sw.bad")
+        builder = EventLogBuilder()
+        counts = injector.inject_application(0.0, WINDOW, builder, locator)
+        assert counts["xid13_bad_node"] > 10
+        log = builder.freeze()
+        bad = log.select(log.gpu == rates.bad_xid13_gpu)
+        assert len(bad) >= counts["xid13_bad_node"]
+
+    def test_bad_node_disabled(self, env):
+        *_, locator = env
+        rates = RateConfig().evolve(bad_xid13_gpu=-1)
+        injector = self.make(env, rates, "sw.nobad")
+        builder = EventLogBuilder()
+        counts = injector.inject_application(0.0, WINDOW, builder, locator)
+        assert counts["xid13_bad_node"] == 0
+
+    def test_driver_upgrade_swaps_mcu_halt_xid(self, env):
+        *_, locator = env
+        from repro.faults.rates import DRIVER_UPGRADE_TIME
+
+        injector = self.make(env, name="sw.mcu")
+        builder = EventLogBuilder()
+        # window straddling the upgrade
+        start = DRIVER_UPGRADE_TIME - 30 * DAY
+        end = DRIVER_UPGRADE_TIME + 30 * DAY
+        injector.inject_driver(start, end, builder, None)
+        log = builder.freeze()
+        old = log.of_type(ErrorType.MCU_HALT_OLD)
+        new = log.of_type(ErrorType.MCU_HALT_NEW)
+        if len(old):
+            assert old.time.max() < DRIVER_UPGRADE_TIME
+        if len(new):
+            assert new.time.min() >= DRIVER_UPGRADE_TIME
+
+    def test_xid42_never_emitted(self, env):
+        injector = self.make(env, name="sw.42")
+        builder = EventLogBuilder()
+        counts = injector.inject_driver(0.0, WINDOW, builder, None)
+        assert counts["xid42"] == 0
+
+    def test_rare_streams_scale_with_expectation(self, env):
+        rates = RateConfig().evolve(xid38_expected_total=300.0)
+        injector = self.make(env, rates, "sw.rare")
+        builder = EventLogBuilder()
+        counts = injector.inject_driver(0.0, WINDOW, builder, None)
+        assert counts["xid38"] == pytest.approx(300, rel=0.3)
+
+
+class TestCascade:
+    def test_echo_covers_job(self, env):
+        tree, machine, fleet, thermal, gen, trace, locator = env
+        builder = EventLogBuilder()
+        # one synthetic parent on a real job
+        job = int(np.argmax(trace.n_nodes))
+        gpus = locator.job_gpus(job)
+        t0 = float(trace.start[job] + 10.0)
+        builder.add(t0, int(gpus[0]), ErrorType.GRAPHICS_ENGINE_EXCEPTION, job=job)
+        rates = RateConfig().evolve(p_43_after_13=0.0, p_cleanup_after_crash=0.0,
+                                    p_same_type_repeat=0.0)
+        cascade = CascadeModel(rates, tree.fresh_generator("casc"))
+        out = cascade.apply(builder.freeze(), locator).sorted_by_time()
+        echoes = out.of_type(ErrorType.GRAPHICS_ENGINE_EXCEPTION)
+        assert len(echoes) == gpus.size  # parent + one echo per other node
+        assert set(echoes.gpu.tolist()) == set(gpus.tolist())
+        # all within the 5-second window
+        assert float(echoes.time.max() - t0) <= rates.job_echo_window_s + 1e-6
+
+    def test_echo_children_point_at_parent(self, env):
+        tree, *_, trace, locator = env
+        builder = EventLogBuilder()
+        job = int(np.argmax(trace.n_nodes > 10))
+        gpus = locator.job_gpus(job)
+        builder.add(float(trace.start[job] + 1), int(gpus[0]),
+                    ErrorType.MEM_PAGE_FAULT, job=job)
+        cascade = CascadeModel(RateConfig(), tree.fresh_generator("casc2"))
+        out = cascade.apply(builder.freeze(), locator)
+        children = out.select(out.parent >= 0)
+        assert len(children) >= gpus.size - 1
+        assert np.all(children.parent == 0)
+
+    def test_dbe_spawns_cleanup(self, env):
+        tree, *_ , locator = env
+        rates = RateConfig().evolve(p_cleanup_after_dbe=1.0)
+        builder = EventLogBuilder()
+        builder.add(100.0, 5, ErrorType.DBE)
+        cascade = CascadeModel(rates, tree.fresh_generator("casc3"))
+        out = cascade.apply(builder.freeze(), None)
+        cleanup = out.of_type(ErrorType.PREEMPTIVE_CLEANUP)
+        assert len(cleanup) == 1
+        assert int(cleanup.gpu[0]) == 5
+        assert float(cleanup.time[0]) > 100.0
+
+    def test_xid13_spawns_43(self, env):
+        tree, *_ = env
+        rates = RateConfig().evolve(
+            p_43_after_13=1.0, p_cleanup_after_crash=0.0, p_same_type_repeat=0.0
+        )
+        builder = EventLogBuilder()
+        builder.add(50.0, 7, ErrorType.GRAPHICS_ENGINE_EXCEPTION, job=-1)
+        cascade = CascadeModel(rates, tree.fresh_generator("casc4"))
+        out = cascade.apply(builder.freeze(), None)
+        assert len(out.of_type(ErrorType.GPU_STOPPED)) == 1
+
+    def test_isolated_types_spawn_nothing(self, env):
+        tree, *_ = env
+        builder = EventLogBuilder()
+        builder.add(10.0, 3, ErrorType.DRIVER_FIRMWARE)
+        builder.add(20.0, 4, ErrorType.OFF_THE_BUS)
+        cascade = CascadeModel(RateConfig(), tree.fresh_generator("casc5"))
+        out = cascade.apply(builder.freeze(), None)
+        assert len(out) == 2  # parents only
+
+
+class TestSbeInjector:
+    def make(self, env, rates=None, name="sbe"):
+        tree, machine, fleet, thermal, *_ = env
+        return SbeInjector(
+            machine, fleet, rates or RateConfig(),
+            tree.fresh_generator(name), thermal,
+        )
+
+    def test_only_prone_cards_emit(self, env):
+        tree, machine, fleet, thermal, gen, trace, locator = env
+        injector = self.make(env, name="sbe.prone")
+        builder = EventLogBuilder()
+        out = injector.inject(trace, 0.0, WINDOW, builder, locator)
+        emitting = np.flatnonzero(out.sbe_by_slot)
+        assert emitting.size > 0
+        assert np.all(fleet.sbe_proneness[emitting] > 0)
+
+    def test_job_counts_bounded_by_slot_totals(self, env):
+        *_, trace, locator = env
+        injector = self.make(env, name="sbe.bounds")
+        builder = EventLogBuilder()
+        out = injector.inject(trace, 0.0, WINDOW, builder, locator)
+        assert out.sbe_by_job.sum() <= out.sbe_by_slot.sum()
+        assert out.sbe_by_job.shape == (len(trace),)
+
+    def test_l2_dominates_structures(self, env):
+        tree, machine, fleet, thermal, gen, trace, locator = env
+        injector = self.make(env, name="sbe.l2")
+        builder = EventLogBuilder()
+        injector.inject(trace, 0.0, WINDOW, builder, locator)
+        from repro.gpu.k20x import MemoryStructure
+
+        l2 = dev = total = 0
+        for slot in np.flatnonzero(fleet.sbe_proneness):
+            rom = fleet.card_in_slot(int(slot)).inforom
+            l2 += rom.sbe_counts.get(MemoryStructure.L2_CACHE, 0)
+            dev += rom.sbe_counts.get(MemoryStructure.DEVICE_MEMORY, 0)
+            total += rom.total_sbe
+        if total:
+            assert l2 / total > 0.5  # "most SBEs happen in the L2 cache"
+            assert dev / total < 0.2
+
+    def test_zero_noise_is_deterministic_mean(self, env):
+        """With noise off, expected counts scale with proneness-hours."""
+        tree, machine, fleet, thermal, gen, trace, locator = env
+        rates = RateConfig().evolve(
+            sbe_job_noise_sigma=0.0, sbe_user_noise_sigma=0.0
+        )
+        injector = self.make(env, rates, "sbe.mean")
+        builder = EventLogBuilder()
+        out = injector.inject(trace, 0.0, WINDOW, builder, locator)
+        assert out.total > 0

@@ -1,0 +1,185 @@
+"""Tests for the stochastic point processes."""
+
+import numpy as np
+import pytest
+
+from repro.faults.processes import (
+    burst_process,
+    hpp_times,
+    nhpp_times_piecewise,
+    thinned_times,
+    weibull_interarrival_times,
+)
+from repro.rng import RngTree
+
+
+def gen(name="p"):
+    return RngTree(123).fresh_generator(name)
+
+
+class TestHPP:
+    def test_count_matches_rate(self):
+        times = hpp_times(0.01, 0.0, 1e6, gen())
+        assert times.size == pytest.approx(10_000, rel=0.05)
+
+    def test_sorted_and_in_window(self):
+        times = hpp_times(0.02, 100.0, 5000.0, gen())
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 100.0 and times.max() < 5000.0
+
+    def test_zero_rate(self):
+        assert hpp_times(0.0, 0.0, 1e6, gen()).size == 0
+
+    def test_empty_window(self):
+        assert hpp_times(1.0, 5.0, 5.0, gen()).size == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            hpp_times(-1.0, 0.0, 1.0, gen())
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            hpp_times(1.0, 10.0, 0.0, gen())
+
+    def test_deterministic(self):
+        a = hpp_times(0.01, 0.0, 1e5, gen())
+        b = hpp_times(0.01, 0.0, 1e5, gen())
+        assert np.array_equal(a, b)
+
+    def test_poisson_interarrivals(self):
+        """Inter-arrival CV should be ~1 for a Poisson process."""
+        times = hpp_times(0.05, 0.0, 1e6, gen())
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+
+class TestNHPP:
+    def test_segment_rates(self):
+        times = nhpp_times_piecewise(
+            np.array([0.0, 1e5, 2e5]), np.array([0.05, 0.0]), gen()
+        )
+        assert times.size == pytest.approx(5000, rel=0.1)
+        assert times.max() < 1e5  # nothing in the zero-rate segment
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nhpp_times_piecewise(np.array([0.0, 1.0]), np.array([1.0, 2.0]), gen())
+        with pytest.raises(ValueError):
+            nhpp_times_piecewise(np.array([1.0, 0.0]), np.array([1.0]), gen())
+        with pytest.raises(ValueError):
+            nhpp_times_piecewise(np.array([0.0, 1.0]), np.array([-1.0]), gen())
+
+    def test_empty(self):
+        out = nhpp_times_piecewise(np.array([0.0]), np.array([]), gen())
+        assert out.size == 0
+
+
+class TestBurst:
+    def test_burstier_than_poisson(self):
+        times = burst_process(
+            0.0,
+            5e6,
+            gen(),
+            burst_rate_per_second=2e-5,
+            events_per_burst_mean=6.0,
+            burst_duration_s=3600.0,
+        )
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3  # clustered
+
+    def test_mean_count(self):
+        times = burst_process(
+            0.0,
+            1e7,
+            gen(),
+            burst_rate_per_second=1e-5,
+            events_per_burst_mean=5.0,
+            burst_duration_s=100.0,
+        )
+        assert times.size == pytest.approx(1e7 * 1e-5 * 5.0, rel=0.15)
+
+    def test_modulation_concentrates_events(self):
+        edges = np.array([0.0, 5e5, 1e6])
+        times = burst_process(
+            0.0,
+            1e6,
+            gen(),
+            burst_rate_per_second=5e-5,
+            events_per_burst_mean=3.0,
+            burst_duration_s=10.0,
+            modulation=np.array([3.0, 0.1]),
+            modulation_edges=edges,
+        )
+        early = np.count_nonzero(times < 5e5)
+        late = times.size - early
+        assert early > 10 * late
+
+    def test_modulation_requires_edges(self):
+        with pytest.raises(ValueError):
+            burst_process(
+                0.0,
+                1.0,
+                gen(),
+                burst_rate_per_second=1.0,
+                events_per_burst_mean=2.0,
+                burst_duration_s=1.0,
+                modulation=np.array([1.0]),
+            )
+
+    def test_burst_size_minimum(self):
+        with pytest.raises(ValueError):
+            burst_process(
+                0.0,
+                1.0,
+                gen(),
+                burst_rate_per_second=1.0,
+                events_per_burst_mean=0.5,
+                burst_duration_s=1.0,
+            )
+
+
+class TestWeibull:
+    def test_shape_one_is_poisson(self):
+        times = weibull_interarrival_times(100.0, 1.0, 0.0, 1e6, gen())
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_shape_below_one_clusters(self):
+        times = weibull_interarrival_times(100.0, 0.5, 0.0, 1e6, gen())
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() > 1.5
+
+    def test_shape_above_one_regularizes(self):
+        times = weibull_interarrival_times(100.0, 3.0, 0.0, 1e6, gen())
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weibull_interarrival_times(0.0, 1.0, 0.0, 1.0, gen())
+        with pytest.raises(ValueError):
+            weibull_interarrival_times(1.0, 0.0, 0.0, 1.0, gen())
+
+
+class TestThinning:
+    def test_scalar_probability(self):
+        times = np.arange(10_000, dtype=float)
+        kept = thinned_times(times, 0.3, gen())
+        assert kept.size == pytest.approx(3000, rel=0.1)
+
+    def test_extremes(self):
+        times = np.arange(100, dtype=float)
+        assert thinned_times(times, 0.0, gen()).size == 0
+        assert thinned_times(times, 1.0, gen()).size == 100
+
+    def test_per_event_probability(self):
+        times = np.arange(10_000, dtype=float)
+        p = np.where(times < 5000, 0.0, 1.0)
+        kept = thinned_times(times, p, gen())
+        assert kept.min() >= 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thinned_times(np.arange(3.0), 1.5, gen())

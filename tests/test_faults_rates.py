@@ -1,0 +1,65 @@
+"""Tests for the calibrated RateConfig."""
+
+import pytest
+
+from repro.faults.rates import DRIVER_UPGRADE_TIME, OTB_FIX_TIME, RateConfig
+from repro.gpu.k20x import MemoryStructure
+from repro.units import datetime_to_timestamp
+import datetime
+
+
+def test_defaults_valid():
+    RateConfig().validate()
+
+
+def test_dbe_rate_matches_paper_mtbf():
+    rates = RateConfig()
+    assert rates.dbe_mtbf_hours == 160.0
+    assert rates.dbe_rate_per_hour == pytest.approx(1 / 160)
+    assert rates.dbe_rate_per_second == pytest.approx(1 / 160 / 3600)
+
+
+def test_structure_split_sums_to_one():
+    split = RateConfig().dbe_structure_split
+    assert sum(split.values()) == pytest.approx(1.0)
+    assert split[MemoryStructure.DEVICE_MEMORY] == pytest.approx(0.86)
+    assert split[MemoryStructure.REGISTER_FILE] == pytest.approx(0.14)
+
+
+def test_milestone_dates():
+    assert OTB_FIX_TIME == datetime_to_timestamp(datetime.datetime(2013, 12, 1))
+    assert DRIVER_UPGRADE_TIME == datetime_to_timestamp(datetime.datetime(2014, 1, 1))
+    assert RateConfig().retirement_active_from == DRIVER_UPGRADE_TIME
+
+
+def test_evolve_is_immutable_copy():
+    base = RateConfig()
+    ablated = base.evolve(thermal_enabled=False)
+    assert base.thermal_enabled is True
+    assert ablated.thermal_enabled is False
+    assert ablated.dbe_mtbf_hours == base.dbe_mtbf_hours
+
+
+def test_validate_rejects_bad_split():
+    bad = RateConfig().evolve(
+        dbe_structure_split={MemoryStructure.DEVICE_MEMORY: 0.5}
+    )
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_validate_rejects_bad_probabilities():
+    with pytest.raises(ValueError):
+        RateConfig().evolve(retirement_log_probability=1.5).validate()
+    with pytest.raises(ValueError):
+        RateConfig().evolve(p_43_after_13=-0.1).validate()
+    with pytest.raises(ValueError):
+        RateConfig().evolve(dbe_mtbf_hours=0.0).validate()
+    with pytest.raises(ValueError):
+        RateConfig().evolve(
+            sbe_l2_share=0.99, sbe_device_memory_share=0.05
+        ).validate()
+
+
+def test_xid42_never_occurs():
+    assert RateConfig().xid42_expected_total == 0.0

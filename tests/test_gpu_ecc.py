@@ -1,0 +1,139 @@
+"""Tests for SECDED semantics and page retirement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.ecc import EccEngine, EccOutcome, PageRetirementTracker
+from repro.gpu.k20x import K20X, MemoryStructure
+
+
+class TestEccEngine:
+    def setup_method(self):
+        self.engine = EccEngine()
+
+    def test_sbe_corrected_on_secded(self):
+        for s in K20X.secded_structures():
+            assert self.engine.classify(s, 1) is EccOutcome.CORRECTED
+
+    def test_dbe_detected_uncorrected(self):
+        out = self.engine.classify(MemoryStructure.DEVICE_MEMORY, 2)
+        assert out is EccOutcome.DETECTED_UNCORRECTED
+        assert self.engine.crashes_application(out)
+
+    def test_sbe_never_crashes(self):
+        out = self.engine.classify(MemoryStructure.L2_CACHE, 1)
+        assert not self.engine.crashes_application(out)
+
+    def test_parity_detects_odd(self):
+        assert (
+            self.engine.classify(MemoryStructure.READONLY_CACHE, 1)
+            is EccOutcome.PARITY_DETECTED
+        )
+        assert (
+            self.engine.classify(MemoryStructure.READONLY_CACHE, 3)
+            is EccOutcome.PARITY_DETECTED
+        )
+
+    def test_parity_misses_even(self):
+        assert (
+            self.engine.classify(MemoryStructure.READONLY_CACHE, 2)
+            is EccOutcome.UNDETECTED
+        )
+
+    def test_multibit_conservative(self):
+        assert (
+            self.engine.classify(MemoryStructure.DEVICE_MEMORY, 3)
+            is EccOutcome.DETECTED_UNCORRECTED
+        )
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            self.engine.classify(MemoryStructure.L2_CACHE, 0)
+
+
+class TestPageRetirement:
+    def make(self, active_from=0.0, **kw):
+        return PageRetirementTracker(active_from=active_from, **kw)
+
+    def test_dbe_retires_immediately(self):
+        t = self.make()
+        rec = t.record_dbe(page=5, timestamp=100.0)
+        assert rec is not None
+        assert rec.cause == "dbe"
+        assert t.is_retired(5)
+
+    def test_single_sbe_does_not_retire(self):
+        t = self.make()
+        assert t.record_sbe(page=7, timestamp=1.0) is None
+        assert not t.is_retired(7)
+
+    def test_two_sbes_same_page_retire(self):
+        t = self.make()
+        t.record_sbe(page=7, timestamp=1.0)
+        rec = t.record_sbe(page=7, timestamp=2.0)
+        assert rec is not None
+        assert rec.cause == "double_sbe"
+
+    def test_two_sbes_different_pages_do_not_retire(self):
+        t = self.make()
+        assert t.record_sbe(page=1, timestamp=1.0) is None
+        assert t.record_sbe(page=2, timestamp=2.0) is None
+        assert t.n_retired == 0
+
+    def test_inactive_before_driver_rollout(self):
+        t = self.make(active_from=1000.0)
+        assert t.record_dbe(page=1, timestamp=500.0) is None
+        assert t.n_retired == 0
+        # but becomes active after
+        assert t.record_dbe(page=2, timestamp=1500.0) is not None
+
+    def test_pre_rollout_sbes_still_counted(self):
+        """An SBE before rollout plus one after should retire the page —
+        the InfoROM kept the address all along."""
+        t = self.make(active_from=1000.0)
+        t.record_sbe(page=3, timestamp=500.0)
+        rec = t.record_sbe(page=3, timestamp=1500.0)
+        assert rec is not None
+
+    def test_retired_page_absorbs_further_errors(self):
+        t = self.make()
+        t.record_dbe(page=9, timestamp=1.0)
+        assert t.record_dbe(page=9, timestamp=2.0) is None
+        assert t.record_sbe(page=9, timestamp=3.0) is None
+        assert t.n_retired == 1
+
+    def test_capacity_limit(self):
+        t = self.make(max_retired_pages=2)
+        t.record_dbe(page=0, timestamp=1.0)
+        t.record_dbe(page=1, timestamp=2.0)
+        assert t.capacity_exhausted
+        assert t.record_dbe(page=2, timestamp=3.0) is None
+        assert t.n_retired == 2
+
+    def test_page_range_validated(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.record_sbe(page=-1, timestamp=0.0)
+        with pytest.raises(ValueError):
+            t.record_dbe(page=K20X.n_device_pages, timestamp=0.0)
+
+    def test_records_ordered(self):
+        t = self.make()
+        t.record_dbe(page=4, timestamp=1.0)
+        t.record_dbe(page=2, timestamp=2.0)
+        pages = [r.page for r in t.retired_pages]
+        assert pages == [4, 2]
+
+    @given(pages=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_retirement_invariants(self, pages):
+        """Property: a page retires at most once; retirement count never
+        exceeds distinct touched pages; double-SBE rule honored."""
+        t = self.make()
+        for i, p in enumerate(pages):
+            t.record_sbe(page=p, timestamp=float(i))
+        assert t.n_retired <= len(set(pages))
+        retired = {r.page for r in t.retired_pages}
+        assert len(retired) == t.n_retired
+        for p in retired:
+            assert pages.count(p) >= 2

@@ -1,0 +1,76 @@
+"""Tests for the GPU fleet and card heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.card import CardState
+from repro.gpu.fleet import GPUFleet
+from repro.rng import RngTree
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return GPUFleet(18_688, RngTree(5).fresh_generator("fleet"))
+
+
+def test_validation():
+    rng = RngTree(0).fresh_generator("f")
+    with pytest.raises(ValueError):
+        GPUFleet(0, rng)
+    with pytest.raises(ValueError):
+        GPUFleet(10, rng, n_sbe_prone=11)
+
+
+def test_prone_subpopulation_size(fleet):
+    prone = np.count_nonzero(fleet.sbe_proneness)
+    assert prone == 900
+    assert prone < 1000  # "<1000 cards ever experienced an SBE"
+    assert prone / fleet.n_slots < 0.05
+
+
+def test_proneness_heavy_tailed(fleet):
+    p = np.sort(fleet.sbe_proneness)[::-1]
+    total = p.sum()
+    # top-10 cards hold a large share; top-50 the bulk (paper Fig. 14)
+    assert p[:10].sum() / total > 0.25
+    assert p[:50].sum() / total > 0.5
+
+
+def test_fragility_unit_mean(fleet):
+    assert fleet.dbe_fragility.mean() == pytest.approx(1.0, rel=0.05)
+    assert np.all(fleet.dbe_fragility > 0)
+
+
+def test_card_lookup_consistent(fleet):
+    card = fleet.card_in_slot(100)
+    assert card.serial == int(fleet.serial_in_slot(100))
+    assert card.sbe_proneness == fleet.sbe_proneness[100]
+
+
+def test_top_offender_slots(fleet):
+    top = fleet.top_offender_slots(10)
+    assert top.shape == (10,)
+    ranked = fleet.sbe_proneness[top]
+    assert np.all(np.diff(ranked) <= 0)  # descending
+    assert ranked[0] == fleet.sbe_proneness.max()
+
+
+def test_replace_card():
+    fleet = GPUFleet(100, RngTree(9).fresh_generator("small"), n_sbe_prone=10)
+    slot = int(fleet.top_offender_slots(1)[0])
+    old = fleet.card_in_slot(slot)
+    new = fleet.replace_card(slot)
+    assert old.state is CardState.HOT_SPARE
+    assert new.serial != old.serial
+    assert fleet.card_in_slot(slot) is new
+    assert fleet.sbe_proneness[slot] == 0.0
+    assert old.serial in fleet.removed_serials
+    assert fleet.n_cards_in_state(CardState.HOT_SPARE) == 1
+    # fleet now owns 101 cards
+    assert len(fleet.all_cards) == 101
+
+
+def test_reproducible(fleet):
+    other = GPUFleet(18_688, RngTree(5).fresh_generator("fleet"))
+    assert np.array_equal(other.sbe_proneness, fleet.sbe_proneness)
+    assert np.array_equal(other.dbe_fragility, fleet.dbe_fragility)

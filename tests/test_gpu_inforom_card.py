@@ -1,0 +1,151 @@
+"""Tests for the InfoROM ledger and GPUCard lifecycle."""
+
+import pytest
+
+from repro.gpu.card import CardState, GPUCard
+from repro.gpu.inforom import InfoROM
+from repro.gpu.k20x import MemoryStructure
+
+
+class TestInfoROM:
+    def test_sbe_always_persists(self):
+        rom = InfoROM()
+        rom.record_sbe(MemoryStructure.L2_CACHE, 3)
+        rom.record_sbe(MemoryStructure.L2_CACHE)
+        assert rom.total_sbe == 4
+        assert rom.sbe_counts[MemoryStructure.L2_CACHE] == 4
+
+    def test_sbe_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InfoROM().record_sbe(MemoryStructure.L2_CACHE, -1)
+
+    def test_dbe_lost_to_shutdown_race(self):
+        rom = InfoROM(dbe_loss_probability=0.5)
+        assert not rom.record_dbe(
+            MemoryStructure.DEVICE_MEMORY, u_loss=0.1, u_double=0.9
+        )
+        assert rom.total_dbe == 0
+
+    def test_dbe_persisted(self):
+        rom = InfoROM(dbe_loss_probability=0.5)
+        assert rom.record_dbe(MemoryStructure.DEVICE_MEMORY, u_loss=0.9, u_double=0.9)
+        assert rom.total_dbe == 1
+
+    def test_dbe_double_commit(self):
+        rom = InfoROM(dbe_double_commit_probability=0.1)
+        rom.record_dbe(MemoryStructure.DEVICE_MEMORY, u_loss=0.9, u_double=0.05)
+        assert rom.total_dbe == 2  # the DBE>SBE anomaly source
+
+    def test_consistency_predicate(self):
+        rom = InfoROM()
+        assert rom.is_consistent()
+        rom.record_dbe(MemoryStructure.DEVICE_MEMORY, u_loss=0.9, u_double=0.9)
+        assert not rom.is_consistent()  # 1 DBE, 0 SBE
+        rom.record_sbe(MemoryStructure.L2_CACHE, 5)
+        assert rom.is_consistent()
+
+    def test_snapshot_is_decoupled(self):
+        rom = InfoROM()
+        rom.record_sbe(MemoryStructure.L2_CACHE, 2)
+        snap = rom.snapshot()
+        snap["sbe"]["l2_cache"] = 999
+        assert rom.sbe_counts[MemoryStructure.L2_CACHE] == 2
+
+    def test_retired_pages_tracked(self):
+        rom = InfoROM()
+        rom.record_retired_page(17)
+        assert rom.n_retired_pages == 1
+        assert rom.snapshot()["retired_pages"] == [17]
+
+
+class TestGPUCard:
+    def make(self, **kw):
+        return GPUCard(serial=1, **kw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(sbe_proneness=-1.0)
+        with pytest.raises(ValueError):
+            self.make(dbe_fragility=0.0)
+
+    def test_sbe_application(self):
+        card = self.make()
+        rec = card.apply_sbe(MemoryStructure.L2_CACHE, page=0, timestamp=1.0)
+        assert rec is None
+        assert card.inforom.total_sbe == 1
+
+    def test_device_memory_double_sbe_retires(self):
+        card = self.make()
+        card.apply_sbe(MemoryStructure.DEVICE_MEMORY, page=3, timestamp=1.0)
+        rec = card.apply_sbe(MemoryStructure.DEVICE_MEMORY, page=3, timestamp=2.0)
+        assert rec is not None
+        assert card.inforom.n_retired_pages == 1
+
+    def test_l2_sbes_never_retire_pages(self):
+        card = self.make()
+        for t in range(5):
+            card.apply_sbe(MemoryStructure.L2_CACHE, page=3, timestamp=float(t))
+        assert card.inforom.n_retired_pages == 0
+
+    def test_dbe_tracked_as_ground_truth(self):
+        card = self.make()
+        card.apply_dbe(
+            MemoryStructure.REGISTER_FILE, page=0, timestamp=5.0,
+            u_loss=0.0, u_double=1.0,  # lost to the race
+        )
+        assert card.n_dbe == 1  # ground truth sees it
+        assert card.inforom.total_dbe == 0  # InfoROM does not
+
+    def test_device_dbe_retires_page(self):
+        card = self.make()
+        rec = card.apply_dbe(
+            MemoryStructure.DEVICE_MEMORY, page=8, timestamp=5.0,
+            u_loss=0.99, u_double=0.99,
+        )
+        assert rec is not None and rec.cause == "dbe"
+
+    def test_register_dbe_does_not_retire(self):
+        card = self.make()
+        rec = card.apply_dbe(
+            MemoryStructure.REGISTER_FILE, page=8, timestamp=5.0,
+            u_loss=0.99, u_double=0.99,
+        )
+        assert rec is None
+
+    def test_lifecycle(self):
+        card = self.make()
+        assert card.in_production
+        card.move_to_hot_spare()
+        assert card.state is CardState.HOT_SPARE
+        card.return_to_vendor()
+        assert card.state is CardState.RETURNED
+
+    def test_lifecycle_transitions_guarded(self):
+        card = self.make()
+        with pytest.raises(ValueError):
+            card.return_to_vendor()  # must be hot-spare first
+        card.move_to_hot_spare()
+        with pytest.raises(ValueError):
+            card.move_to_hot_spare()
+
+    def test_dbe_threshold_policy(self):
+        card = self.make()
+        assert not card.exceeds_dbe_threshold(1)
+        card.apply_dbe(
+            MemoryStructure.DEVICE_MEMORY, page=0, timestamp=1.0,
+            u_loss=0.9, u_double=0.9,
+        )
+        assert card.exceeds_dbe_threshold(1)
+
+    def test_off_the_bus_recorded(self):
+        card = self.make()
+        card.apply_off_the_bus(7.0)
+        assert card.otb_events == [7.0]
+
+    def test_retirement_rollout_honored(self):
+        card = self.make(retirement_active_from=100.0)
+        rec = card.apply_dbe(
+            MemoryStructure.DEVICE_MEMORY, page=0, timestamp=50.0,
+            u_loss=0.9, u_double=0.9,
+        )
+        assert rec is None

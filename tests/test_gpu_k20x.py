@@ -1,0 +1,66 @@
+"""Tests for the K20X architectural description."""
+
+import pytest
+
+from repro.gpu.k20x import GB, KB, K20X, MemoryStructure, Protection
+
+
+def test_core_counts():
+    assert K20X.n_sms == 14
+    assert K20X.cores_per_sm == 192
+    assert K20X.cuda_cores == 2688
+
+
+def test_memory_sizes():
+    assert K20X.device_memory_bytes == 6 * GB
+    assert K20X.l2_bytes == 1536 * KB
+    assert K20X.register_file_bytes == 14 * 64 * 1024 * 4
+
+
+def test_peak_flops():
+    assert K20X.peak_sp_tflops == pytest.approx(3.95)
+    assert K20X.peak_dp_tflops == pytest.approx(1.31)
+
+
+def test_protection_map():
+    s = K20X.structures
+    assert s[MemoryStructure.DEVICE_MEMORY].protection is Protection.SECDED
+    assert s[MemoryStructure.L2_CACHE].protection is Protection.SECDED
+    assert s[MemoryStructure.L1_CACHE].protection is Protection.SECDED
+    assert s[MemoryStructure.SHARED_MEMORY].protection is Protection.SECDED
+    assert s[MemoryStructure.REGISTER_FILE].protection is Protection.SECDED
+    assert s[MemoryStructure.READONLY_CACHE].protection is Protection.PARITY
+
+
+def test_device_memory_dominates_sizes():
+    s = K20X.structures
+    dev = s[MemoryStructure.DEVICE_MEMORY].bytes_total
+    for other, spec in s.items():
+        if other is not MemoryStructure.DEVICE_MEMORY:
+            assert spec.bytes_total < dev / 50
+
+
+def test_secded_structures_listed():
+    secded = K20X.secded_structures()
+    assert MemoryStructure.DEVICE_MEMORY in secded
+    assert MemoryStructure.REGISTER_FILE in secded
+    assert MemoryStructure.READONLY_CACHE not in secded
+
+
+def test_page_count():
+    assert K20X.n_device_pages == (6 * GB) // (64 * KB)
+    assert K20X.n_device_pages == 98_304
+
+
+def test_structure_bits():
+    spec = K20X.structures[MemoryStructure.L2_CACHE]
+    assert spec.bits == spec.bytes_total * 8
+
+
+def test_structures_mapping_is_readonly():
+    with pytest.raises(TypeError):
+        K20X.structures[MemoryStructure.L2_CACHE] = None  # type: ignore[index]
+
+
+def test_structure_str():
+    assert str(MemoryStructure.DEVICE_MEMORY) == "device_memory"

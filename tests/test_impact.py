@@ -1,0 +1,111 @@
+"""Tests for application-impact accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.impact import application_impact
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.units import HOUR
+from repro.workload.jobs import JobTraceBuilder
+
+
+def make_trace():
+    b = JobTraceBuilder()
+    # job 0: 100 nodes, 10 h; job 1: 10 nodes, 2 h
+    b.add(user=0, submit=0.0, start=0.0, end=10 * HOUR, gpu_util=1.0,
+          max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(0, 100)])
+    b.add(user=1, submit=0.0, start=0.0, end=2 * HOUR, gpu_util=1.0,
+          max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(100, 10)])
+    return b.freeze()
+
+
+def make_log(events):
+    b = EventLogBuilder()
+    for t, gpu, etype, job in events:
+        b.add(t, gpu, etype, job=job)
+    return b.freeze().sorted_by_time()
+
+
+class TestImpact:
+    def test_loss_capped_by_checkpoint_interval(self):
+        trace = make_trace()
+        # DBE 5 h into job 0: loss = 100 * (1 h cap + 0.1 restart)
+        log = make_log([(5 * HOUR, 0, ErrorType.DBE, 0)])
+        report = application_impact(log, trace)
+        impact = report.per_class[ErrorType.DBE]
+        assert impact.n_interruptions == 1
+        assert impact.lost_node_hours == pytest.approx(100 * 1.1)
+        assert impact.interrupted_node_hours == pytest.approx(1000.0)
+
+    def test_early_crash_loses_less(self):
+        trace = make_trace()
+        # crash 12 min in: progress below the cap
+        log = make_log([(0.2 * HOUR, 0, ErrorType.DBE, 0)])
+        report = application_impact(log, trace)
+        assert report.per_class[ErrorType.DBE].lost_node_hours == pytest.approx(
+            100 * (0.2 + 0.1)
+        )
+
+    def test_echoes_counted_once(self):
+        trace = make_trace()
+        events = [(HOUR + i, i, ErrorType.GRAPHICS_ENGINE_EXCEPTION, 0)
+                  for i in range(5)]  # 5 echoes within 5 s
+        report = application_impact(make_log(events), trace)
+        impact = report.per_class[ErrorType.GRAPHICS_ENGINE_EXCEPTION]
+        assert impact.n_interruptions == 1
+
+    def test_non_crashing_classes_free(self):
+        trace = make_trace()
+        log = make_log([
+            (HOUR, 0, ErrorType.ECC_PAGE_RETIREMENT, 0),
+            (2 * HOUR, 0, ErrorType.PREEMPTIVE_CLEANUP, 0),
+        ])
+        report = application_impact(log, trace)
+        assert report.total_lost_node_hours == 0.0
+        assert ErrorType.ECC_PAGE_RETIREMENT not in report.per_class
+
+    def test_untagged_events_cost_nothing(self):
+        trace = make_trace()
+        log = make_log([(HOUR, 50, ErrorType.GPU_STOPPED, -1)])
+        report = application_impact(log, trace)
+        assert report.per_class[ErrorType.GPU_STOPPED].n_interruptions == 0
+
+    def test_interruption_rate(self):
+        trace = make_trace()
+        log = make_log([
+            (HOUR, 0, ErrorType.DBE, 0),
+            (1.5 * HOUR, 100, ErrorType.OFF_THE_BUS, 1),
+        ])
+        report = application_impact(log, trace)
+        assert report.n_interrupted_jobs == 2
+        assert report.interruption_rate == 1.0
+        assert report.lost_fraction > 0
+
+    def test_ranked_classes(self):
+        trace = make_trace()
+        log = make_log([
+            (5 * HOUR, 0, ErrorType.DBE, 0),  # 100-node job: expensive
+            (HOUR, 100, ErrorType.GPU_STOPPED, 1),  # 10-node job: cheap
+        ])
+        ranked = application_impact(log, trace).ranked_classes()
+        assert ranked[0].etype is ErrorType.DBE
+        assert ranked[0].mean_loss_per_interruption > ranked[1].mean_loss_per_interruption
+
+    def test_validation(self):
+        trace = make_trace()
+        log = make_log([(HOUR, 0, ErrorType.DBE, 0)])
+        with pytest.raises(ValueError):
+            application_impact(log, trace, checkpoint_interval_h=0.0)
+        with pytest.raises(ValueError):
+            application_impact(log, trace, restart_overhead_h=-1.0)
+
+    def test_on_simulated_dataset(self, smoke_dataset):
+        ds = smoke_dataset
+        report = application_impact(ds.parsed_events, ds.trace)
+        assert report.n_jobs == len(ds.trace)
+        assert 0 < report.n_interrupted_jobs < report.n_jobs
+        assert 0 < report.lost_fraction < 0.2  # interruptions are a tax,
+        # not the bulk of the machine
+        heaviest = report.ranked_classes()[0]
+        assert heaviest.lost_node_hours > 0

@@ -1,0 +1,108 @@
+"""Tests for nvidia-smi -q text rendering and parsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.nvsmi import NvsmiRecord
+from repro.telemetry.nvsmi_text import (
+    parse_nvsmi_query,
+    render_nvsmi_query,
+)
+
+
+def make_record(**kw):
+    defaults = dict(
+        slot=3,
+        serial=12345,
+        sbe_total=7,
+        dbe_total=1,
+        retired_pages=2,
+        temperature_c=41.0,
+        sbe_by_structure={"l2_cache": 5, "device_memory": 2},
+        dbe_by_structure={"device_memory": 1},
+    )
+    defaults.update(kw)
+    return NvsmiRecord(**defaults)
+
+
+class TestRender:
+    def test_layout(self):
+        text = render_nvsmi_query(make_record(), gpu_index=4)
+        assert text.startswith("GPU 0000:04:00.0")
+        assert "Tesla K20X" in text
+        assert "Ecc Errors" in text
+        assert "Single Bit" in text and "Double Bit" in text
+        assert "Retired Page Count          : 2" in text
+        assert "Pending Page Blacklist      : Yes" in text
+
+    def test_no_retired_pages(self):
+        text = render_nvsmi_query(make_record(retired_pages=0))
+        assert "Pending Page Blacklist      : No" in text
+
+
+class TestParse:
+    def test_roundtrip(self):
+        record = make_record()
+        parsed = parse_nvsmi_query(render_nvsmi_query(record))
+        assert parsed.serial == record.serial
+        assert parsed.sbe_total == record.sbe_total
+        assert parsed.dbe_total == record.dbe_total
+        assert parsed.retired_pages == record.retired_pages
+        assert parsed.sbe_by_structure == record.sbe_by_structure
+        assert parsed.dbe_by_structure == record.dbe_by_structure
+        assert parsed.temperature_c == pytest.approx(41.0, abs=1.0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_nvsmi_query("not a report at all")
+
+    def test_ignores_unknown_sections(self):
+        text = render_nvsmi_query(make_record())
+        noisy = text.replace(
+            "    Ecc Errors",
+            "    Clocks\n        SM : 732 MHz\n    Ecc Errors",
+        )
+        parsed = parse_nvsmi_query(noisy)
+        assert parsed.sbe_total == 7
+
+    @given(
+        sbe_l2=st.integers(0, 100_000),
+        sbe_dev=st.integers(0, 100_000),
+        dbe_dev=st.integers(0, 50),
+        retired=st.integers(0, 64),
+        temp=st.floats(20, 95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, sbe_l2, sbe_dev, dbe_dev, retired, temp):
+        record = make_record(
+            sbe_total=sbe_l2 + sbe_dev,
+            dbe_total=dbe_dev,
+            retired_pages=retired,
+            temperature_c=float(temp),
+            sbe_by_structure=(
+                {"l2_cache": sbe_l2, "device_memory": sbe_dev}
+                if sbe_l2 or sbe_dev
+                else {}
+            ),
+            dbe_by_structure={"device_memory": dbe_dev} if dbe_dev else {},
+        )
+        parsed = parse_nvsmi_query(render_nvsmi_query(record))
+        assert parsed.sbe_total == record.sbe_total
+        assert parsed.dbe_total == record.dbe_total
+        assert parsed.retired_pages == retired
+        # zero counters are omitted from the parsed dicts by design
+        expected_sbe = {k: v for k, v in record.sbe_by_structure.items() if v}
+        assert parsed.sbe_by_structure == expected_sbe
+
+
+class TestAgainstEmulator:
+    def test_fleet_record_renders(self, smoke_dataset):
+        smi = smoke_dataset.nvsmi
+        table = smoke_dataset.nvsmi_table
+        slot = int(np.argmax(table["sbe_total"]))
+        record = smi.query(slot)
+        parsed = parse_nvsmi_query(render_nvsmi_query(record))
+        assert parsed.sbe_total == record.sbe_total
+        assert parsed.serial == record.serial

@@ -1,0 +1,114 @@
+"""Tests for the monthly operations report."""
+
+import numpy as np
+import pytest
+
+from repro.core.opsreport import build_monthly_report
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.topology.machine import TitanMachine
+from repro.units import month_bounds
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return TitanMachine()
+
+
+def make_log(machine):
+    b = EventLogBuilder()
+    m0, _ = month_bounds(0)
+    m1, _ = month_bounds(1)
+    # month 0: one DBE, an echoed XID 13 burst (3 events, 1 incident)
+    b.add(m0 + 100.0, 10, ErrorType.DBE)
+    for dt in (0.0, 1.0, 2.0):
+        b.add(m0 + 500.0 + dt, 20 + int(dt), ErrorType.GRAPHICS_ENGINE_EXCEPTION,
+              job=5)
+    # month 1: two DBEs, one OTB
+    b.add(m1 + 50.0, 30, ErrorType.DBE)
+    b.add(m1 + 5000.0, 31, ErrorType.DBE)
+    b.add(m1 + 800.0, 32, ErrorType.OFF_THE_BUS)
+    return b.freeze().sorted_by_time()
+
+
+class TestBuildReport:
+    def test_counts_are_incidents_not_events(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 0)
+        assert report.incident_counts[ErrorType.DBE] == 1
+        # three echoed XID 13 lines collapse to one incident
+        assert report.incident_counts[ErrorType.GRAPHICS_ENGINE_EXCEPTION] == 1
+        assert report.total_incidents() == 2
+
+    def test_month_over_month_delta(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 1)
+        assert report.incident_counts[ErrorType.DBE] == 2
+        assert report.delta(ErrorType.DBE) == 1  # 2 this month vs 1 before
+        assert report.delta(ErrorType.OFF_THE_BUS) == 1
+
+    def test_first_month_has_no_previous(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 0)
+        assert report.previous_counts == {}
+        assert report.delta(ErrorType.DBE) == 1
+
+    def test_hardware_itemized_in_time_order(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 1)
+        kinds = [etype for _, etype, _ in report.hardware_incidents]
+        assert kinds.count(ErrorType.DBE) == 2
+        assert kinds.count(ErrorType.OFF_THE_BUS) == 1
+        times = [t for *_, t in report.hardware_incidents]
+        assert times == sorted(times)
+        # cnames resolve to real nodes
+        cname = report.hardware_incidents[0][0]
+        assert machine.gpu_from_cname(cname) in (30, 31, 32)
+
+    def test_top_cabinets(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 0)
+        assert report.top_cabinets
+        row, col, events = report.top_cabinets[0]
+        assert events >= 1
+
+    def test_watchlist_from_sbe_totals(self, machine):
+        totals = np.zeros(machine.n_gpus, dtype=np.int64)
+        totals[100] = 500
+        totals[200] = 100
+        report = build_monthly_report(
+            make_log(machine), machine, 0, sbe_totals=totals
+        )
+        assert report.sbe_watchlist[0] == (machine.cname(100), 500)
+        assert len(report.sbe_watchlist) == 2
+
+    def test_render_contains_key_lines(self, machine):
+        totals = np.zeros(machine.n_gpus, dtype=np.int64)
+        totals[100] = 7
+        report = build_monthly_report(
+            make_log(machine), machine, 1, sbe_totals=totals
+        )
+        text = report.render()
+        assert "Jul'13" in text
+        assert "48" in text  # DBE XID in the table
+        assert "Hardware incidents:" in text
+        assert "SBE watchlist" in text
+        assert "+1" in text  # the DBE delta
+
+    def test_quiet_month(self, machine):
+        report = build_monthly_report(make_log(machine), machine, 5)
+        assert report.total_incidents() == 0
+        assert report.hardware_incidents == []
+        assert "report" in report.render()
+
+
+class TestOnSimulatedData:
+    def test_reports_over_study(self, smoke_dataset):
+        ds = smoke_dataset
+        log = ds.parsed_events
+        report = build_monthly_report(
+            log, ds.machine, 0, sbe_totals=ds.nvsmi_table["sbe_total"]
+        )
+        assert report.total_incidents() > 0
+        text = report.render()
+        assert "Jun'13" in text
+        # incident counts are far below raw line counts (echo collapse)
+        raw_lines = len(log.in_window(*__import__(
+            "repro.units", fromlist=["month_bounds"]
+        ).month_bounds(0)))
+        assert report.total_incidents() < raw_lines

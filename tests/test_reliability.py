@@ -1,0 +1,147 @@
+"""Tests for Weibull fitting, exponentiality testing, survival analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.reliability import (
+    exponentiality_test,
+    fit_weibull,
+    kaplan_meier,
+    project_fleet_mtbf,
+)
+from repro.rng import RngTree
+
+
+def rng(name="rel"):
+    return RngTree(8).fresh_generator(name)
+
+
+class TestWeibullFit:
+    def test_recovers_exponential(self):
+        g = rng("exp")
+        gaps = g.exponential(500.0, size=4000)
+        fit = fit_weibull(gaps)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)
+        assert fit.scale == pytest.approx(500.0, rel=0.05)
+        assert not fit.clustered or fit.shape > 0.95
+
+    def test_recovers_clustered(self):
+        g = rng("clu")
+        shape, scale = 0.6, 1000.0
+        gaps = scale * g.weibull(shape, size=4000)
+        fit = fit_weibull(gaps)
+        assert fit.shape == pytest.approx(shape, abs=0.05)
+        assert fit.scale == pytest.approx(scale, rel=0.08)
+        assert fit.clustered
+
+    def test_recovers_wearout(self):
+        g = rng("wear")
+        gaps = 100.0 * g.weibull(2.5, size=4000)
+        fit = fit_weibull(gaps)
+        assert fit.shape == pytest.approx(2.5, abs=0.15)
+
+    def test_matches_scipy_fit(self):
+        g = rng("scipy")
+        gaps = 300.0 * g.weibull(0.8, size=2000)
+        ours = fit_weibull(gaps)
+        shape_sp, _, scale_sp = sps.weibull_min.fit(gaps, floc=0.0)
+        assert ours.shape == pytest.approx(shape_sp, rel=0.02)
+        assert ours.scale == pytest.approx(scale_sp, rel=0.02)
+
+    def test_mean_formula(self):
+        fit = fit_weibull(rng("mean").exponential(100.0, size=2000))
+        assert fit.mean == pytest.approx(
+            fit.scale * math.gamma(1 + 1 / fit.shape)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_weibull(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_weibull(np.array([0.0, 0.0, 0.0]))
+
+
+class TestExponentialityTest:
+    def test_accepts_exponential(self):
+        g = rng("ks1")
+        gaps = g.exponential(100.0, size=400)
+        _, p = exponentiality_test(gaps, g, n_bootstrap=200)
+        assert p > 0.05
+
+    def test_rejects_clustered(self):
+        g = rng("ks2")
+        gaps = 100.0 * g.weibull(0.5, size=400)
+        _, p = exponentiality_test(gaps, g, n_bootstrap=200)
+        assert p < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponentiality_test(np.array([1.0]), rng())
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_ecdf(self):
+        durations = np.array([1.0, 2.0, 3.0, 4.0])
+        curve = kaplan_meier(durations, np.ones(4, dtype=bool))
+        assert curve.at(0.5) == 1.0
+        assert curve.at(1.0) == pytest.approx(0.75)
+        assert curve.at(2.5) == pytest.approx(0.5)
+        assert curve.at(10.0) == pytest.approx(0.0)
+        assert curve.median_survival() == 2.0
+
+    def test_censoring_lifts_curve(self):
+        durations = np.array([1.0, 2.0, 3.0, 4.0])
+        all_events = kaplan_meier(durations, np.ones(4, dtype=bool))
+        half_censored = kaplan_meier(
+            durations, np.array([True, False, True, False])
+        )
+        assert half_censored.at(3.0) > all_events.at(3.0)
+        assert half_censored.n_censored == 2
+
+    def test_mostly_censored_population(self):
+        """Card fleet reality: almost nobody fails in-window."""
+        g = rng("km")
+        n = 1000
+        durations = np.full(n, 640.0)  # censored at end of study
+        observed = np.zeros(n, dtype=bool)
+        fail = g.choice(n, size=30, replace=False)
+        durations[fail] = g.uniform(0, 640, size=30)
+        observed[fail] = True
+        curve = kaplan_meier(durations, observed)
+        assert curve.median_survival() is None  # never drops to 0.5
+        assert curve.at(640.0) > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([]), np.array([], dtype=bool))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([1.0]), np.array([True, False]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([-1.0]), np.array([True]))
+
+
+class TestProjection:
+    def test_scaling(self):
+        # Titan's 160 h at 18,688 GPUs -> 100k GPUs of the same card
+        projected = project_fleet_mtbf(160.0, 18_688, 100_000)
+        assert projected == pytest.approx(160.0 * 18_688 / 100_000)
+        assert projected < 30.0  # the exascale reliability problem
+
+    def test_improvement_credit(self):
+        assert project_fleet_mtbf(
+            160.0, 18_688, 100_000, per_device_improvement=10.0
+        ) == pytest.approx(160.0 * 18_688 / 100_000 * 10)
+
+    def test_identity(self):
+        assert project_fleet_mtbf(160.0, 100, 100) == 160.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_fleet_mtbf(0.0, 1, 1)
+        with pytest.raises(ValueError):
+            project_fleet_mtbf(1.0, 0, 1)
+        with pytest.raises(ValueError):
+            project_fleet_mtbf(1.0, 1, 1, per_device_improvement=0.0)

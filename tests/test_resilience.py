@@ -1,0 +1,257 @@
+"""Tests for checkpoint/restart theory, simulator, and lazy policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.resilience.appsim import (
+    exponential_failures,
+    simulate_run,
+    weibull_failures,
+)
+from repro.resilience.daly import (
+    daly_efficiency,
+    daly_optimal_interval,
+    effective_application_mtbf,
+    segment_expected_time,
+    young_optimal_interval,
+)
+from repro.resilience.lazy import FixedIntervalPolicy, HazardAwarePolicy
+from repro.rng import RngTree
+
+HOUR = 3600.0
+
+
+class TestDalyTheory:
+    def test_young_formula(self):
+        assert young_optimal_interval(60.0, 160 * HOUR) == pytest.approx(
+            math.sqrt(2 * 60 * 160 * HOUR)
+        )
+
+    def test_daly_close_to_young_when_cheap(self):
+        y = young_optimal_interval(10.0, 1e6)
+        d = daly_optimal_interval(10.0, 1e6)
+        assert d == pytest.approx(y, rel=0.01)
+
+    def test_daly_caps_at_mtbf(self):
+        assert daly_optimal_interval(100.0, 10.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_optimal_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            daly_optimal_interval(10.0, -1.0)
+        with pytest.raises(ValueError):
+            segment_expected_time(0.0, 1.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            segment_expected_time(10.0, 1.0, -1.0, 100.0)
+
+    def test_efficiency_bounded(self):
+        e = daly_efficiency(1000.0, 60.0, 30.0, 160 * HOUR)
+        assert 0 < e < 1
+
+    def test_efficiency_peaks_at_optimum(self):
+        """The Daly interval beats both a much shorter and a much longer
+        one — the defining property of the optimum."""
+        c, r, m = 120.0, 60.0, 50 * HOUR
+        opt = daly_optimal_interval(c, m)
+        e_opt = daly_efficiency(opt, c, r, m)
+        assert e_opt > daly_efficiency(opt / 8, c, r, m)
+        assert e_opt > daly_efficiency(opt * 8, c, r, m)
+
+    def test_effective_app_mtbf(self):
+        # an app on half the machine sees half the failures
+        assert effective_application_mtbf(160.0, 18_688, 9344) == pytest.approx(
+            320.0
+        )
+        with pytest.raises(ValueError):
+            effective_application_mtbf(160.0, 100, 0)
+        with pytest.raises(ValueError):
+            effective_application_mtbf(160.0, 100, 200)
+
+
+class TestAppSim:
+    def gaps(self, mtbf, name="sim"):
+        return exponential_failures(mtbf, RngTree(3).fresh_generator(name))
+
+    def test_no_failures_pure_overhead(self):
+        result = simulate_run(
+            work_s=10_000.0,
+            checkpoint_cost_s=100.0,
+            restart_cost_s=50.0,
+            failure_gaps=iter([1e18]),
+            next_interval=FixedIntervalPolicy(1000.0),
+        )
+        assert result.n_failures == 0
+        assert result.useful_s == 10_000.0
+        assert result.n_checkpoints == 10
+        assert result.checkpoint_s == 1000.0
+        assert result.total_wall_s == pytest.approx(11_000.0)
+        assert result.efficiency == pytest.approx(10 / 11, rel=1e-6)
+
+    def test_failure_rolls_back_work(self):
+        # one failure mid-second-segment, then quiet
+        result = simulate_run(
+            work_s=2000.0,
+            checkpoint_cost_s=10.0,
+            restart_cost_s=5.0,
+            failure_gaps=iter([1510.0, 1e18]),
+            next_interval=FixedIntervalPolicy(1000.0),
+        )
+        assert result.n_failures == 1
+        assert result.lost_s == pytest.approx(500.0)
+        assert result.restart_s == pytest.approx(5.0)
+        assert result.useful_s == 2000.0
+
+    def test_failure_during_checkpoint_loses_segment(self):
+        # failure lands inside the first checkpoint write
+        result = simulate_run(
+            work_s=1000.0,
+            checkpoint_cost_s=100.0,
+            restart_cost_s=10.0,
+            failure_gaps=iter([1050.0, 1e18]),
+            next_interval=FixedIntervalPolicy(1000.0),
+        )
+        assert result.n_failures == 1
+        # the whole 1000 s segment failed to commit the first time
+        assert result.lost_s == pytest.approx(1000.0)
+        assert result.useful_s == 1000.0
+
+    def test_wall_clock_budget_accounting(self):
+        """All wall time is attributed somewhere."""
+        result = simulate_run(
+            work_s=50_000.0,
+            checkpoint_cost_s=30.0,
+            restart_cost_s=20.0,
+            failure_gaps=self.gaps(5_000.0),
+            next_interval=FixedIntervalPolicy(500.0),
+        )
+        parts = sum(result.breakdown().values())
+        assert parts == pytest.approx(result.total_wall_s, rel=1e-9)
+
+    def test_simulation_matches_daly_theory(self):
+        """Monte-Carlo efficiency ≈ the analytic τ/E(τ) under
+        exponential failures (the classic validation)."""
+        c, r, m = 60.0, 30.0, 20_000.0
+        tau = daly_optimal_interval(c, m)
+        result = simulate_run(
+            work_s=3e6,
+            checkpoint_cost_s=c,
+            restart_cost_s=r,
+            failure_gaps=self.gaps(m, "match"),
+            next_interval=FixedIntervalPolicy(tau),
+        )
+        theory = daly_efficiency(tau, c, r, m)
+        assert result.efficiency == pytest.approx(theory, rel=0.05)
+
+    def test_max_wall_truncates(self):
+        result = simulate_run(
+            work_s=1e12,
+            checkpoint_cost_s=10.0,
+            restart_cost_s=10.0,
+            failure_gaps=self.gaps(1000.0),
+            next_interval=FixedIntervalPolicy(100.0),
+            max_wall_s=50_000.0,
+        )
+        assert result.total_wall_s <= 51_000.0
+        assert result.useful_s < 1e12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_run(
+                work_s=0.0, checkpoint_cost_s=1.0, restart_cost_s=1.0,
+                failure_gaps=iter([1.0]), next_interval=FixedIntervalPolicy(1.0),
+            )
+        with pytest.raises(ValueError):
+            simulate_run(
+                work_s=10.0, checkpoint_cost_s=-1.0, restart_cost_s=1.0,
+                failure_gaps=iter([1.0]), next_interval=FixedIntervalPolicy(1.0),
+            )
+
+    def test_failure_stream_validation(self):
+        with pytest.raises(ValueError):
+            next(exponential_failures(0.0, RngTree(0).fresh_generator("x")))
+        with pytest.raises(ValueError):
+            next(weibull_failures(1.0, 0.0, RngTree(0).fresh_generator("x")))
+
+
+class TestLazyPolicy:
+    def test_fixed_policy(self):
+        policy = FixedIntervalPolicy(500.0)
+        assert policy(0.0) == 500.0
+        assert policy(1e9) == 500.0
+        with pytest.raises(ValueError):
+            FixedIntervalPolicy(0.0)
+
+    def test_daly_constructor(self):
+        policy = FixedIntervalPolicy.daly(60.0, 160 * HOUR)
+        assert policy.interval_s == pytest.approx(
+            daly_optimal_interval(60.0, 160 * HOUR)
+        )
+
+    def test_hazard_decays_for_clustered_failures(self):
+        policy = HazardAwarePolicy(
+            checkpoint_cost_s=60.0, weibull_scale_s=10_000.0, weibull_shape=0.6
+        )
+        assert policy.hazard(100.0) > policy.hazard(10_000.0)
+        # interval therefore grows with quiet time
+        assert policy(100.0) < policy(10_000.0) < policy(100_000.0)
+
+    def test_reduces_to_fixed_for_exponential(self):
+        policy = HazardAwarePolicy(
+            checkpoint_cost_s=60.0, weibull_scale_s=10_000.0, weibull_shape=1.0,
+            max_interval_s=1e9,
+        )
+        # constant hazard 1/theta -> Young interval sqrt(2 C theta)
+        expected = math.sqrt(2 * 60.0 * 10_000.0)
+        assert policy(10.0) == pytest.approx(expected)
+        assert policy(1e6) == pytest.approx(expected)
+
+    def test_clamps(self):
+        policy = HazardAwarePolicy(
+            checkpoint_cost_s=60.0, weibull_scale_s=10_000.0, weibull_shape=0.5,
+            min_interval_s=100.0, max_interval_s=1000.0,
+        )
+        assert policy(1e-9) >= 100.0
+        assert policy(1e12) == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HazardAwarePolicy(checkpoint_cost_s=0.0, weibull_scale_s=1.0,
+                              weibull_shape=1.0)
+        with pytest.raises(ValueError):
+            HazardAwarePolicy(checkpoint_cost_s=1.0, weibull_scale_s=1.0,
+                              weibull_shape=1.0, min_interval_s=10.0,
+                              max_interval_s=5.0)
+
+    def test_lazy_beats_fixed_under_clustered_failures(self):
+        """The headline property: with Weibull shape < 1 failures, the
+        hazard-aware policy commits the same work in less wall time than
+        the best fixed (Daly) policy."""
+        shape, scale = 0.55, 40_000.0
+        import math as m
+
+        mean_gap = scale * m.gamma(1 + 1 / shape)
+        c, r = 120.0, 60.0
+        work = 5e6
+
+        def run(policy, name):
+            return simulate_run(
+                work_s=work,
+                checkpoint_cost_s=c,
+                restart_cost_s=r,
+                failure_gaps=weibull_failures(
+                    scale, shape, RngTree(11).fresh_generator(name)
+                ),
+                next_interval=policy,
+            )
+
+        fixed = run(FixedIntervalPolicy.daly(c, mean_gap), "w")
+        lazy = run(
+            HazardAwarePolicy(
+                checkpoint_cost_s=c, weibull_scale_s=scale, weibull_shape=shape
+            ),
+            "w",  # identical failure stream
+        )
+        assert lazy.efficiency > fixed.efficiency

@@ -1,0 +1,127 @@
+"""Deep integration invariants of the simulated dataset.
+
+These cross-check the injectors against the workload: every job-tagged
+event must physically fit its job (time inside the job's run, node
+inside the job's allocation), retirement events must obey the driver
+rollout, and the telemetry views must be mutually consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors.xid import ErrorType
+
+
+@pytest.fixture(scope="module")
+def ds(smoke_dataset):
+    return smoke_dataset
+
+
+def test_job_tagged_events_fit_their_jobs(ds):
+    """Sampled job-tagged events lie within the job's time window and on
+    one of the job's allocated GPUs."""
+    ev = ds.events
+    tagged = np.flatnonzero(ev.job >= 0)
+    rng = np.random.default_rng(0)
+    sample = rng.choice(tagged, size=min(300, tagged.size), replace=False)
+    echo = ds.scenario.rates.job_echo_window_s
+    for i in sample:
+        job = int(ev.job[i])
+        t = float(ev.time[i])
+        assert ds.trace.start[job] - 1e-6 <= t
+        # children (echoes, cleanups, retries) may land shortly after
+        # the crash ended the job's useful run but within bookkeeping
+        assert t <= ds.trace.end[job] + echo + 600.0
+        gpus = set(ds.locator.job_gpus(job).tolist())
+        assert int(ev.gpu[i]) in gpus
+
+
+def test_workload_driven_errors_always_tagged(ds):
+    """XID 13/31 *parent* events ride on jobs by construction, so every
+    one carries a job tag — except the bad node (Observation 8), which
+    fires regardless of what (if anything) is running, and XID 43
+    children it spawns."""
+    ev = ds.events
+    bad = ds.scenario.rates.bad_xid13_gpu
+    for etype in (ErrorType.GRAPHICS_ENGINE_EXCEPTION, ErrorType.MEM_PAGE_FAULT):
+        stream = ev.of_type(etype)
+        untagged = stream.select(stream.job < 0)
+        assert np.all(untagged.gpu == bad)
+
+
+def test_echo_counts_match_allocation_sizes(ds):
+    """Each echoed parent produces exactly n_nodes events for its job
+    within the echo window."""
+    ev = ds.events
+    xid13 = ev.of_type(ErrorType.GRAPHICS_ENGINE_EXCEPTION)
+    parents = xid13.select((xid13.parent < 0) & (xid13.job >= 0))
+    rng = np.random.default_rng(1)
+    bad = ds.scenario.rates.bad_xid13_gpu
+    checked = 0
+    for i in rng.permutation(len(parents)):
+        job = int(parents.job[i])
+        if int(parents.gpu[i]) == bad:
+            continue
+        t0 = float(parents.time[i])
+        window = xid13.select(
+            (xid13.job == job) & (xid13.time >= t0)
+            & (xid13.time <= t0 + ds.scenario.rates.job_echo_window_s + 0.5)
+        )
+        # at least the full allocation reports (repeats may add more)
+        assert len(window) >= int(ds.trace.n_nodes[job])
+        checked += 1
+        if checked >= 20:
+            break
+    assert checked > 0
+
+
+def test_parent_links_are_causal(ds):
+    """Children never precede their parents and share the parent's job
+    (or have none)."""
+    ev = ds.events
+    children = np.flatnonzero(ev.parent >= 0)
+    parents = ev.parent[children]
+    assert np.all(ev.time[children] >= ev.time[parents])
+
+
+def test_no_retirement_before_rollout(ds):
+    retire = ds.events.of_type(ErrorType.ECC_PAGE_RETIREMENT)
+    rollout = ds.scenario.rates.retirement_active_from
+    if len(retire):
+        assert retire.time.min() >= rollout
+
+
+def test_dbe_ground_truth_matches_cards(ds):
+    """Console DBE count equals the sum of per-card ground truth."""
+    console = len(ds.events.of_type(ErrorType.DBE))
+    cards = sum(c.n_dbe for c in ds.fleet.all_cards)
+    assert console == cards
+
+
+def test_inforom_never_exceeds_truth(ds):
+    """The InfoROM may lose DBEs (shutdown race) but can at most double
+    one (double-commit): per-card ROM count <= 2x ground truth."""
+    for card in ds.fleet.all_cards:
+        assert card.inforom.total_dbe <= 2 * card.n_dbe
+
+
+def test_sbe_totals_consistent_across_views(ds):
+    """injection aggregate == InfoROM sum == nvsmi table sum."""
+    inj = int(ds.sbe_by_slot.sum())
+    rom = sum(
+        ds.fleet.card_in_slot(s).inforom.total_sbe
+        for s in range(ds.machine.n_gpus)
+    )
+    table = int(ds.nvsmi_table["sbe_total"].sum())
+    assert inj == rom == table
+
+
+def test_events_within_scenario_window(ds):
+    ev = ds.events
+    assert ev.time.min() >= ds.scenario.start
+    # children may spill slightly past the end (delays after a late parent)
+    assert ev.time.max() <= ds.scenario.end + 3600.0
+
+
+def test_jobs_cover_machine_only(ds):
+    ds.trace.validate_allocations(ds.machine.n_gpus)

@@ -1,0 +1,70 @@
+"""Survival analysis of the simulated fleet (reliability extension).
+
+Card time-to-first-DBE with right-censoring at end of study: the
+Kaplan-Meier machinery applied to the dataset the way a reliability
+engineer would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import kaplan_meier
+from repro.errors.xid import ErrorType
+from repro.units import HOUR
+
+
+@pytest.fixture(scope="module")
+def km_curve(paper_dataset):
+    ds = paper_dataset
+    log = ds.parsed_events.of_type(ErrorType.DBE)
+    end_h = ds.scenario.end / HOUR
+    # time of first DBE per slot
+    first = np.full(ds.machine.n_gpus, np.inf)
+    for i in range(len(log)):
+        gpu = int(log.gpu[i])
+        first[gpu] = min(first[gpu], float(log.time[i]) / HOUR)
+    observed = np.isfinite(first)
+    durations = np.where(observed, first, end_h)
+    return kaplan_meier(durations, observed), int(observed.sum())
+
+
+def test_most_cards_survive(km_curve, paper_dataset):
+    curve, n_failed = km_curve
+    end_h = paper_dataset.scenario.end / HOUR
+    assert curve.n_events == n_failed
+    assert curve.n_censored == paper_dataset.machine.n_gpus - n_failed
+    # ~90 first-DBEs out of 18,688 cards: survival stays near 1
+    assert curve.at(end_h) > 0.99
+    assert curve.median_survival() is None
+
+
+def test_survival_monotone_nonincreasing(km_curve):
+    curve, _ = km_curve
+    assert np.all(np.diff(curve.survival) <= 1e-12)
+    assert curve.at(0.0) == 1.0
+
+
+def test_hazard_roughly_constant(km_curve, paper_dataset):
+    """DBE first-failures arrive steadily: the survival drop in the
+    first half of the study is comparable to the second half."""
+    curve, _ = km_curve
+    end_h = paper_dataset.scenario.end / HOUR
+    s_half = curve.at(end_h / 2)
+    s_full = curve.at(end_h)
+    drop_first = 1.0 - s_half
+    drop_second = s_half - s_full
+    # with ~90 events the halves fluctuate; rule out strong burn-in or
+    # wear-out (order-of-magnitude imbalance), not sampling noise
+    ratio = drop_first / drop_second
+    assert 1 / 2.5 < ratio < 2.5
+
+
+def test_survival_matches_exponential_prediction(km_curve, paper_dataset):
+    """With fleet MTBF M over N cards, per-card first-failure hazard is
+    ~1/(M·N): S(end) ≈ exp(−end/(M·N))."""
+    curve, n_failed = km_curve
+    end_h = paper_dataset.scenario.end / HOUR
+    n = paper_dataset.machine.n_gpus
+    fleet_mtbf_h = end_h / max(n_failed, 1)
+    predicted = np.exp(-end_h / (fleet_mtbf_h * n))
+    assert curve.at(end_h) == pytest.approx(predicted, abs=0.002)

@@ -1,0 +1,143 @@
+"""Tests for SWF interop and the JSON study export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TitanStudy
+from repro.core.export import SUMMARY_FORMAT, study_summary, write_summary_json
+from repro.units import HOUR
+from repro.workload.jobs import JobTraceBuilder
+from repro.workload.swf import from_swf, reschedule, to_swf
+
+
+def make_trace():
+    b = JobTraceBuilder()
+    b.add(user=3, submit=100.0, start=150.0, end=150.0 + 2 * HOUR,
+          gpu_util=0.5, max_memory_gb=8.0, total_memory=16.0, n_apruns=2,
+          runs=[(0, 64)])
+    b.add(user=5, submit=500.0, start=500.0, end=500.0 + HOUR,
+          gpu_util=0.9, max_memory_gb=2.0, total_memory=2.0, n_apruns=1,
+          runs=[(64, 128)])
+    return b.freeze()
+
+
+class TestSwf:
+    def test_export_format(self):
+        text = to_swf(make_trace(), header_note="unit test")
+        lines = [l for l in text.splitlines() if not l.startswith(";")]
+        assert len(lines) == 2
+        fields = lines[0].split()
+        assert len(fields) == 18
+        assert fields[0] == "1"  # job number
+        assert fields[1] == "100"  # submit
+        assert fields[2] == "50"  # wait
+        assert fields[3] == str(2 * 3600)  # runtime
+        assert fields[4] == "64"  # processors
+        assert fields[11] == "4"  # user id (+1)
+        assert "; unit test" in text
+
+    def test_roundtrip_preserves_shape(self):
+        trace = make_trace()
+        back = from_swf(to_swf(trace))
+        assert len(back) == 2
+        assert np.array_equal(back.n_nodes, trace.n_nodes)
+        assert np.allclose(back.submit, np.round(trace.submit))
+        assert np.allclose(back.walltime_s, np.round(trace.walltime_s))
+        assert np.array_equal(back.user, trace.user)
+        assert np.allclose(back.max_memory_gb, trace.max_memory_gb, rtol=1e-4)
+
+    def test_rescheduled_allocations_valid(self):
+        back = reschedule(make_trace(), capacity=1000)
+        back.validate_allocations(1000)
+
+    def test_comment_and_blank_lines_skipped(self):
+        text = "; header\n\n" + to_swf(make_trace())
+        assert len(from_swf(text)) == 2
+
+    def test_cancelled_jobs_skipped(self):
+        line = " ".join(["9", "0", "0", "-1", "4"] + ["-1"] * 13)
+        assert len(from_swf(line)) == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            from_swf("1 2 3")
+
+    def test_oversized_jobs_clamped(self):
+        line = " ".join(
+            ["1", "0", "0", "100", "999999", "-1", "-1", "-1", "-1", "-1",
+             "-1", "7"] + ["-1"] * 6
+        )
+        trace = from_swf(line, capacity=500)
+        assert trace.n_nodes[0] == 500
+
+    def test_smoke_trace_roundtrip(self, smoke_dataset):
+        trace = smoke_dataset.trace
+        back = from_swf(to_swf(trace))
+        assert len(back) == len(trace)
+        assert np.array_equal(back.n_nodes, trace.n_nodes)
+        assert np.array_equal(back.user, trace.user)
+
+
+class TestJsonExport:
+    @pytest.fixture(scope="class")
+    def summary(self, smoke_dataset):
+        return study_summary(TitanStudy(smoke_dataset))
+
+    def test_format_and_keys(self, summary):
+        assert summary["format"] == SUMMARY_FORMAT
+        for key in ("scenario", "dbe", "off_the_bus", "retirement",
+                    "xid13", "sbe", "correlations", "workload"):
+            assert key in summary
+
+    def test_json_serializable(self, summary):
+        text = json.dumps(summary)
+        assert json.loads(text) == summary
+
+    def test_values_match_study(self, smoke_dataset, summary):
+        study = TitanStudy(smoke_dataset)
+        assert summary["dbe"]["total"] == study.fig2().total
+        assert summary["sbe"]["cards_affected"] == study.fig14().n_cards_with_sbe
+        assert len(summary["dbe"]["monthly"]) == 21
+
+    def test_write_json(self, smoke_dataset, tmp_path):
+        path = write_summary_json(TitanStudy(smoke_dataset), tmp_path / "s.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["format"] == SUMMARY_FORMAT
+
+
+class TestSwfDrivesInjection:
+    def test_imported_trace_feeds_the_injectors(self, smoke_dataset):
+        """Bring-your-own-workload path: an SWF import (rescheduled on
+        the torus) drives fault injection exactly like a generated
+        trace."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.rates import RateConfig
+        from repro.gpu.fleet import GPUFleet
+        from repro.rng import RngTree
+        from repro.topology.thermal import ThermalModel
+        from repro.workload.users import UserPopulation
+
+        ds = smoke_dataset
+        trace = from_swf(to_swf(ds.trace))
+        tree = RngTree(99)
+        rates = RateConfig()
+        fleet = GPUFleet(
+            ds.machine.n_gpus,
+            tree.fresh_generator("fleet"),
+            retirement_active_from=rates.retirement_active_from,
+        )
+        thermal = ThermalModel(ds.machine.cage, tree.fresh_generator("th"))
+        users = UserPopulation(
+            int(trace.user.max()) + 1, tree.fresh_generator("users")
+        )
+        injector = FaultInjector(
+            ds.machine, fleet, thermal, users, rates,
+            tree.fresh_generator("hw"), tree.fresh_generator("sw"),
+            tree.fresh_generator("sbe"), tree.fresh_generator("casc"),
+        )
+        end = float(trace.end.max()) + 1.0
+        result = injector.run(trace, 0.0, end)
+        assert len(result.events) > 0
+        assert result.sbe_by_job.shape == (len(trace),)

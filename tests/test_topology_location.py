@@ -1,0 +1,100 @@
+"""Tests for node locations and cname codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import location as loc
+
+
+def test_floor_dimensions():
+    assert loc.N_CABINETS == 200
+    assert loc.NODES_PER_CABINET == 96
+    assert loc.TOTAL_POSITIONS == 19_200
+
+
+def test_nodelocation_validation():
+    loc.NodeLocation(0, 0, 0, 0, 0)
+    loc.NodeLocation(24, 7, 2, 7, 3)
+    with pytest.raises(ValueError):
+        loc.NodeLocation(25, 0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        loc.NodeLocation(0, 8, 0, 0, 0)
+    with pytest.raises(ValueError):
+        loc.NodeLocation(0, 0, 3, 0, 0)
+    with pytest.raises(ValueError):
+        loc.NodeLocation(0, 0, 0, 8, 0)
+    with pytest.raises(ValueError):
+        loc.NodeLocation(0, 0, 0, 0, 4)
+
+
+def test_cname_format():
+    n = loc.NodeLocation(row=17, col=3, cage=2, slot=5, node=1)
+    assert n.cname == "c3-17c2s5n1"
+
+
+def test_cname_parse():
+    assert loc.parse_cname("c3-17c2s5n1") == (17, 3, 2, 5, 1)
+    assert loc.NodeLocation.from_cname("c0-0c0s0n0") == loc.NodeLocation(0, 0, 0, 0, 0)
+
+
+def test_cname_parse_rejects_garbage():
+    for bad in ["", "c3-17", "x3-17c2s5n1", "c3-17c2s5n1x", "c-1c2s5n1"]:
+        with pytest.raises(ValueError):
+            loc.parse_cname(bad)
+
+
+def test_cname_parse_rejects_out_of_range_via_location():
+    with pytest.raises(ValueError):
+        loc.NodeLocation.from_cname("c9-0c0s0n0")  # col 9 does not exist
+
+
+@given(
+    row=st.integers(0, 24),
+    col=st.integers(0, 7),
+    cage=st.integers(0, 2),
+    slot=st.integers(0, 7),
+    node=st.integers(0, 3),
+)
+def test_cname_roundtrip(row, col, cage, slot, node):
+    n = loc.NodeLocation(row, col, cage, slot, node)
+    assert loc.NodeLocation.from_cname(n.cname) == n
+
+
+@given(index=st.integers(0, loc.TOTAL_POSITIONS - 1))
+def test_index_roundtrip(index):
+    n = loc.NodeLocation.from_index(index)
+    assert n.index == index
+
+
+def test_position_index_layout():
+    # blade-contiguous: consecutive nodes of a blade are adjacent
+    a = loc.position_index(0, 0, 0, 0, 0)
+    b = loc.position_index(0, 0, 0, 0, 1)
+    assert b == a + 1
+    # cabinets are 96 apart
+    assert loc.position_index(0, 1, 0, 0, 0) == 96
+
+
+def test_position_fields_vectorized():
+    idx = np.arange(loc.TOTAL_POSITIONS)
+    row, col, cage, slot, node = loc.position_fields(idx)
+    back = loc.position_index(row, col, cage, slot, node)
+    assert np.array_equal(back, idx)
+
+
+def test_position_fields_out_of_range():
+    with pytest.raises(ValueError):
+        loc.position_fields(loc.TOTAL_POSITIONS)
+    with pytest.raises(ValueError):
+        loc.position_fields(-1)
+
+
+def test_cabinet_property():
+    n = loc.NodeLocation(2, 3, 0, 0, 0)
+    assert n.cabinet == 2 * 8 + 3
+
+
+def test_ordering_is_lexicographic():
+    assert loc.NodeLocation(0, 0, 0, 0, 1) < loc.NodeLocation(0, 0, 0, 1, 0)

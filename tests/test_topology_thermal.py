@@ -1,0 +1,90 @@
+"""Tests for the cabinet thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngTree
+from repro.topology.machine import TitanMachine
+from repro.topology.thermal import ThermalModel
+from repro.units import fahrenheit_delta_to_celsius
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return TitanMachine()
+
+
+def make_model(machine, **kw):
+    return ThermalModel(machine.cage, RngTree(1).fresh_generator("thermal"), **kw)
+
+
+def test_top_cage_hotter_by_about_10F(machine):
+    model = make_model(machine)
+    means = model.cage_means(utilization=0.5)
+    delta = means[2] - means[0]
+    assert delta == pytest.approx(fahrenheit_delta_to_celsius(10.5), abs=0.3)
+
+
+def test_gradient_monotone(machine):
+    means = make_model(machine).cage_means()
+    assert means[0] < means[1] < means[2]
+
+
+def test_utilization_raises_temperature(machine):
+    model = make_model(machine)
+    cold = model.temperature(0.0)
+    hot = model.temperature(1.0)
+    assert np.all(hot > cold)
+    assert np.allclose(hot - cold, model.util_delta_c)
+
+
+def test_utilization_clipped(machine):
+    model = make_model(machine)
+    assert np.array_equal(model.temperature(2.0), model.temperature(1.0))
+    assert np.array_equal(model.temperature(-1.0), model.temperature(0.0))
+
+
+def test_per_gpu_utilization_array(machine):
+    model = make_model(machine)
+    util = np.zeros(machine.n_gpus)
+    util[0] = 1.0
+    temps = model.temperature(util)
+    idle = model.idle_temperature()
+    assert temps[0] == pytest.approx(idle[0] + model.util_delta_c)
+    assert temps[1] == pytest.approx(idle[1])
+
+
+def test_card_offsets_deterministic(machine):
+    a = make_model(machine).idle_temperature()
+    b = make_model(machine).idle_temperature()
+    assert np.array_equal(a, b)
+
+
+def test_arrhenius_factor_mean_near_one(machine):
+    factor = make_model(machine).arrhenius_factor(0.5)
+    assert factor.mean() == pytest.approx(1.0, rel=0.1)
+    assert np.all(factor > 0)
+
+
+def test_arrhenius_top_cage_elevated(machine):
+    model = make_model(machine)
+    factor = model.arrhenius_factor(0.5)
+    top = factor[machine.cage == 2].mean()
+    bottom = factor[machine.cage == 0].mean()
+    # ~5.6C at 10C doubling -> ~1.5x
+    assert top / bottom == pytest.approx(2 ** (5.6 / 10), rel=0.1)
+
+
+def test_disabled_model_is_flat(machine):
+    model = make_model(machine, enabled=False)
+    assert np.allclose(model.arrhenius_factor(0.5), 1.0)
+    means = model.cage_means()
+    assert means[2] - means[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_doubling_parameter(machine):
+    model = make_model(machine)
+    f10 = model.arrhenius_factor(0.5, doubling_c=10.0)
+    f5 = model.arrhenius_factor(0.5, doubling_c=5.0)
+    # smaller doubling constant -> more spread
+    assert f5.std() > f10.std()

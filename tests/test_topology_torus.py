@@ -1,0 +1,134 @@
+"""Tests for the Gemini torus and folded cabling."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.location import TOTAL_POSITIONS
+from repro.topology.torus import (
+    TORUS_X,
+    TORUS_Y,
+    TORUS_Z,
+    GeminiTorus,
+    folded_order,
+    folded_rank,
+)
+
+
+def test_torus_dimensions_cover_machine():
+    # 9600 routers x 2 endpoints = 19,200 positions
+    assert TORUS_X * TORUS_Y * TORUS_Z * 2 == TOTAL_POSITIONS
+
+
+def test_folded_order_is_permutation():
+    order = folded_order()
+    assert sorted(order) == list(range(25))
+
+
+def test_folded_order_shape():
+    order = folded_order()
+    assert order[0] == 0
+    assert order[1] == 2  # evens ascending first
+    assert order[12] == 24  # last even
+    assert order[13] == 23  # then odds descending
+    assert order[-1] == 1
+
+
+def test_folded_cables_are_short():
+    """Every hop in the folded ring spans at most 2 physical rows,
+    including the wraparound — the whole point of folding."""
+    order = list(folded_order())
+    ring = order + [order[0]]
+    assert max(abs(a - b) for a, b in zip(ring, ring[1:])) <= 2
+
+
+def test_folded_rank_inverse():
+    order = folded_order()
+    rank = folded_rank()
+    for x, row in enumerate(order):
+        assert rank[row] == x
+
+
+def test_adjacent_torus_x_alternates_physical_rows():
+    """Consecutive torus X coordinates map to different physical rows
+    two apart (the alternating-cabinet effect of Fig. 12)."""
+    order = folded_order()
+    gaps = [abs(order[i + 1] - order[i]) for i in range(len(order) - 1)]
+    assert all(g == 2 for g in gaps[:11])  # within the even run
+
+
+@given(index=st.integers(0, TOTAL_POSITIONS - 1))
+def test_node_torus_roundtrip(index):
+    torus = GeminiTorus()
+    x, y, z, e = torus.node_to_torus(index)
+    back = torus.torus_to_node(x, y, z, e)
+    assert int(back) == index
+
+
+def test_torus_to_node_validates():
+    torus = GeminiTorus()
+    import pytest
+
+    with pytest.raises(ValueError):
+        torus.torus_to_node(25, 0, 0, 0)
+    with pytest.raises(ValueError):
+        torus.torus_to_node(0, 16, 0, 0)
+    with pytest.raises(ValueError):
+        torus.torus_to_node(0, 0, 24, 0)
+    with pytest.raises(ValueError):
+        torus.torus_to_node(0, 0, 0, 2)
+
+
+def test_two_nodes_per_router():
+    torus = GeminiTorus()
+    idx = np.arange(TOTAL_POSITIONS)
+    x, y, z, e = torus.node_to_torus(idx)
+    routers = x * (TORUS_Y * TORUS_Z) + y * TORUS_Z + z
+    _, counts = np.unique(routers, return_counts=True)
+    assert np.all(counts == 2)
+
+
+def test_neighbors_symmetric_and_six():
+    torus = GeminiTorus()
+    coord = (3, 5, 7)
+    neigh = torus.neighbors(*coord)
+    assert len(neigh) == 6
+    for n in neigh:
+        assert coord in torus.neighbors(*n)
+
+
+def test_neighbors_wrap():
+    torus = GeminiTorus()
+    assert (24, 0, 0) in torus.neighbors(0, 0, 0)
+    assert (0, 15, 0) in torus.neighbors(0, 0, 0)
+    assert (0, 0, 23) in torus.neighbors(0, 0, 0)
+
+
+def test_hop_distance():
+    torus = GeminiTorus()
+    assert torus.hop_distance((0, 0, 0), (0, 0, 0)) == 0
+    assert torus.hop_distance((0, 0, 0), (1, 1, 1)) == 3
+    # wraparound is shorter
+    assert torus.hop_distance((0, 0, 0), (24, 0, 0)) == 1
+    assert torus.hop_distance((0, 0, 0), (0, 15, 0)) == 1
+
+
+def test_torus_rank_is_dense_permutation():
+    torus = GeminiTorus()
+    ranks = torus.torus_rank(np.arange(TOTAL_POSITIONS))
+    assert np.array_equal(np.sort(ranks), np.arange(TOTAL_POSITIONS))
+
+
+def test_rank_order_walks_alternating_rows():
+    """Walking allocation rank, the physical row advances 0,2,4,... —
+    the folded stripe."""
+    torus = GeminiTorus()
+    in_order = torus.all_positions_in_rank_order()
+    from repro.topology.location import position_fields
+
+    row, _, _, _, _ = position_fields(in_order)
+    # First TORUS_Y*TORUS_Z*2 = 768 positions are all in row 0, next 768 in row 2...
+    block = TORUS_Y * TORUS_Z * 2
+    assert np.all(row[:block] == 0)
+    assert np.all(row[block : 2 * block] == 2)
+    assert np.all(row[2 * block : 3 * block] == 4)

@@ -1,0 +1,79 @@
+"""Tests for the study calendar (repro.units)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_study_window_is_21_months():
+    assert units.N_STUDY_MONTHS == 21
+    assert units.STUDY_MONTHS[0] == (2013, 6)
+    assert units.STUDY_MONTHS[-1] == (2015, 2)
+
+
+def test_month_bounds_contiguous():
+    for i in range(units.N_STUDY_MONTHS - 1):
+        _, end = units.month_bounds(i)
+        start_next, _ = units.month_bounds(i + 1)
+        assert end == start_next
+
+
+def test_month_bounds_out_of_range():
+    with pytest.raises(IndexError):
+        units.month_bounds(21)
+    with pytest.raises(IndexError):
+        units.month_bounds(-1)
+
+
+def test_epoch_is_zero():
+    assert units.datetime_to_timestamp(units.STUDY_EPOCH) == 0.0
+    assert units.month_bounds(0)[0] == 0.0
+
+
+def test_timestamp_roundtrip():
+    when = datetime.datetime(2014, 7, 15, 13, 45, 30)
+    ts = units.datetime_to_timestamp(when)
+    assert units.timestamp_to_datetime(ts) == when
+
+
+def test_month_index_vectorized():
+    # First second of the window, mid-window, and just before the end.
+    ts = np.array([0.0, units.month_bounds(7)[0] + 5.0, units.STUDY_END - 1.0])
+    idx = units.month_index(ts)
+    assert idx.tolist() == [0, 7, 20]
+
+
+def test_month_index_out_of_window():
+    idx = units.month_index(np.array([-1.0, units.STUDY_END]))
+    assert idx.tolist() == [-1, -1]
+
+
+def test_month_starts_usable_as_histogram_edges():
+    edges = units.month_starts()
+    assert edges.shape == (22,)
+    assert np.all(np.diff(edges) > 0)
+    assert edges[-1] == units.STUDY_END
+
+
+def test_month_labels():
+    assert units.month_label(0) == "Jun'13"
+    assert units.month_label(20) == "Feb'15"
+    assert len(units.month_labels()) == 21
+
+
+def test_study_end_matches_last_month_bound():
+    assert units.STUDY_END == units.month_bounds(20)[1]
+
+
+def test_fahrenheit_delta():
+    assert units.fahrenheit_delta_to_celsius(18.0) == pytest.approx(10.0)
+    assert units.fahrenheit_delta_to_celsius(10.5) == pytest.approx(5.8333, abs=1e-3)
+
+
+def test_time_constants():
+    assert units.HOUR == 3600
+    assert units.DAY == 24 * units.HOUR
+    assert units.WEEK == 7 * units.DAY

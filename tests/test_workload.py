@@ -1,0 +1,267 @@
+"""Tests for users, jobs, scheduler and generator."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngTree
+from repro.units import DAY, STUDY_END
+from repro.workload.generator import (
+    MAX_JOB_NODES,
+    WorkloadConfig,
+    WorkloadGenerator,
+    deadline_cycle_factor,
+)
+from repro.workload.jobs import JobTraceBuilder
+from repro.workload.scheduler import IntervalAllocator, Scheduler
+from repro.workload.users import UserClass, UserPopulation
+
+
+class TestUsers:
+    def test_population_covers_classes(self):
+        pop = UserPopulation(160, RngTree(1).fresh_generator("users"))
+        for cls in UserClass:
+            assert len(pop.of_class(cls)) >= 1
+        assert len(pop) == 160
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(2, RngTree(1).fresh_generator("users"))
+
+    def test_submit_probabilities_normalized(self):
+        pop = UserPopulation(50, RngTree(2).fresh_generator("users"))
+        p = pop.submit_probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_class_character(self):
+        pop = UserPopulation(400, RngTree(3).fresh_generator("users"))
+        cap = pop.of_class(UserClass.CAPABILITY)
+        mara = pop.of_class(UserClass.MARATHON)
+        hogs = pop.of_class(UserClass.MEMORY_HOG)
+        ordn = pop.of_class(UserClass.ORDINARY)
+        assert np.mean([p.nodes_median for p in cap]) > np.mean(
+            [p.nodes_median for p in ordn]
+        )
+        assert np.mean([p.walltime_median_h for p in mara]) > np.mean(
+            [p.walltime_median_h for p in cap]
+        )
+        assert np.mean([p.mem_per_node_gb for p in hogs]) > 20
+        # memory hogs use below-average walltimes (Obs. 14)
+        assert np.mean([p.walltime_median_h for p in hogs]) < np.mean(
+            [p.walltime_median_h for p in mara]
+        )
+
+
+class TestIntervalAllocator:
+    def test_basic_allocate_release(self):
+        a = IntervalAllocator(100)
+        runs = a.allocate(30)
+        assert runs == [(0, 30)]
+        assert a.free_count == 70
+        a.release(runs)
+        assert a.free_count == 100
+        assert a.fragments == 1  # merged back into one interval
+
+    def test_lowest_rank_first(self):
+        a = IntervalAllocator(100)
+        first = a.allocate(10)
+        second = a.allocate(10)
+        assert first == [(0, 10)] and second == [(10, 10)]
+
+    def test_fragmented_allocation(self):
+        a = IntervalAllocator(100)
+        a_runs = a.allocate(10)  # [0,10)
+        b_runs = a.allocate(10)  # [10,20)
+        a.release(a_runs)  # hole at [0,10)
+        c_runs = a.allocate(15)  # should span the hole + after b
+        assert c_runs == [(0, 10), (20, 5)]
+        assert a.free_count == 100 - 10 - 15
+        del b_runs
+
+    def test_merge_on_release(self):
+        a = IntervalAllocator(100)
+        r1 = a.allocate(10)
+        r2 = a.allocate(10)
+        a.release(r2)
+        a.release(r1)
+        assert a.fragments == 1
+
+    def test_insufficient_capacity(self):
+        a = IntervalAllocator(10)
+        with pytest.raises(RuntimeError):
+            a.allocate(11)
+
+    def test_double_release_detected(self):
+        a = IntervalAllocator(10)
+        runs = a.allocate(5)
+        a.release(runs)
+        with pytest.raises(RuntimeError):
+            a.release(runs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalAllocator(0)
+        a = IntervalAllocator(10)
+        with pytest.raises(ValueError):
+            a.allocate(0)
+        with pytest.raises(ValueError):
+            a.release([(0, 0)])
+        with pytest.raises(ValueError):
+            a.release([(8, 5)])
+
+
+class TestScheduler:
+    def test_immediate_start_when_free(self):
+        s = Scheduler(100)
+        start, runs = s.place(5.0, 10.0, 50)
+        assert start == 5.0
+        assert sum(l for _, l in runs) == 50
+
+    def test_queueing_when_full(self):
+        s = Scheduler(100)
+        s.place(0.0, 100.0, 80)
+        start, _ = s.place(1.0, 10.0, 50)  # must wait for job 1
+        assert start == 100.0
+
+    def test_fcfs_order(self):
+        s = Scheduler(100)
+        s.place(0.0, 100.0, 80)  # blocks
+        start_b, _ = s.place(1.0, 10.0, 50)  # waits until t=100
+        start_c, _ = s.place(2.0, 10.0, 5)  # would fit at t=2, but FCFS
+        assert start_c >= start_b
+
+    def test_capacity_validated(self):
+        s = Scheduler(100)
+        with pytest.raises(ValueError):
+            s.place(0.0, 1.0, 101)
+        with pytest.raises(ValueError):
+            s.place(0.0, 0.0, 10)
+
+    def test_utilization(self):
+        s = Scheduler(100)
+        s.place(0.0, 1e9, 25)
+        assert s.utilization_now() == pytest.approx(0.25)
+
+
+class TestJobTrace:
+    def test_builder_and_derived(self):
+        b = JobTraceBuilder()
+        b.add(
+            user=3, submit=0.0, start=10.0, end=3610.0, gpu_util=0.5,
+            max_memory_gb=64.0, total_memory=64.0, n_apruns=2,
+            runs=[(0, 4), (10, 4)],
+        )
+        trace = b.freeze()
+        assert len(trace) == 1
+        assert trace.n_nodes[0] == 8
+        assert trace.walltime_h[0] == pytest.approx(1.0)
+        assert trace.gpu_core_hours[0] == pytest.approx(8 * 1.0 * 0.5)
+        assert trace.job_ranks(0).tolist() == [0, 1, 2, 3, 10, 11, 12, 13]
+
+    def test_job_gpus_mapping(self):
+        b = JobTraceBuilder()
+        b.add(
+            user=0, submit=0.0, start=0.0, end=1.0, gpu_util=1.0,
+            max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(2, 3)],
+        )
+        trace = b.freeze()
+        order = np.array([50, 40, 30, 20, 10, 0])
+        assert trace.job_gpus(0, order).tolist() == [30, 20, 10]
+
+    def test_time_validation(self):
+        b = JobTraceBuilder()
+        with pytest.raises(ValueError):
+            b.add(
+                user=0, submit=5.0, start=1.0, end=10.0, gpu_util=1.0,
+                max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(0, 1)],
+            )
+        with pytest.raises(ValueError):
+            b.add(
+                user=0, submit=0.0, start=1.0, end=0.5, gpu_util=1.0,
+                max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(0, 1)],
+            )
+        with pytest.raises(ValueError):
+            b.add(
+                user=0, submit=0.0, start=1.0, end=2.0, gpu_util=1.0,
+                max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[],
+            )
+
+    def test_running_at_and_window(self):
+        b = JobTraceBuilder()
+        b.add(user=0, submit=0.0, start=0.0, end=10.0, gpu_util=1.0,
+              max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(0, 1)])
+        b.add(user=0, submit=0.0, start=20.0, end=30.0, gpu_util=1.0,
+              max_memory_gb=1.0, total_memory=1.0, n_apruns=1, runs=[(1, 1)])
+        trace = b.freeze()
+        assert trace.running_at(5.0).tolist() == [0]
+        assert trace.running_at(15.0).tolist() == []
+        assert trace.in_window(5.0, 25.0).tolist() == [0, 1]
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        cfg = WorkloadConfig(
+            n_users=40, jobs_per_day=60.0, start_time=0.0, end_time=60 * DAY
+        )
+        gen = WorkloadGenerator(cfg, RngTree(7).fresh_generator("wl"))
+        return gen.generate()
+
+    def test_volume(self, trace):
+        # thinning keeps ~ jobs_per_day on average
+        assert len(trace) == pytest.approx(60 * 60, rel=0.25)
+
+    def test_allocations_valid(self, trace):
+        trace.validate_allocations(18_688)
+
+    def test_no_overlapping_allocations(self, trace):
+        """No two concurrently-running jobs may share a node rank."""
+        # check a few random instants
+        rng = np.random.default_rng(0)
+        for t in rng.uniform(0, 60 * DAY, size=8):
+            running = trace.running_at(float(t))
+            seen: set[int] = set()
+            for j in running:
+                ranks = set(trace.job_ranks(int(j)).tolist())
+                assert not (ranks & seen)
+                seen |= ranks
+
+    def test_marginals_sane(self, trace):
+        assert trace.n_nodes.min() >= 1
+        assert trace.n_nodes.max() <= MAX_JOB_NODES
+        assert trace.walltime_h.max() <= 24.0 + 1e-9
+        assert np.all(trace.gpu_util > 0) and np.all(trace.gpu_util <= 1)
+        assert np.all(trace.max_memory_gb <= trace.n_nodes * 32.0 + 1e-9)
+        assert np.all(trace.n_apruns >= 1)
+
+    def test_starts_after_submission(self, trace):
+        assert np.all(trace.start >= trace.submit)
+
+    def test_reproducible(self, trace):
+        cfg = WorkloadConfig(
+            n_users=40, jobs_per_day=60.0, start_time=0.0, end_time=60 * DAY
+        )
+        other = WorkloadGenerator(cfg, RngTree(7).fresh_generator("wl")).generate()
+        assert len(other) == len(trace)
+        assert np.array_equal(other.start, trace.start)
+        assert np.array_equal(other.run_start, trace.run_start)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(end_time=0.0).validate()
+        with pytest.raises(ValueError):
+            WorkloadConfig(jobs_per_day=0.0).validate()
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_users=2).validate()
+
+
+def test_deadline_cycle_factor():
+    # Day 80 of a 91-day cycle is inside the 14-day window.
+    inside = deadline_cycle_factor(80 * DAY, 0.0, 3.0)
+    outside = deadline_cycle_factor(40 * DAY, 0.0, 3.0)
+    assert float(inside) == 3.0
+    assert float(outside) == 1.0
+
+
+def test_default_window_reaches_study_end():
+    assert WorkloadConfig().end_time == STUDY_END

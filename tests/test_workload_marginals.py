@@ -1,0 +1,73 @@
+"""Statistical checks on the realized workload marginals.
+
+The user-class design only matters if it survives into the *scheduled*
+trace; these tests verify the realized per-class distributions carry
+the Observation 14 structure (not just the profile parameters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload.users import UserClass
+
+
+@pytest.fixture(scope="module")
+def per_class(smoke_dataset):
+    """Job metrics grouped by the owning user's class."""
+    ds = smoke_dataset
+    trace = ds.trace
+    classes = np.asarray(
+        [ds.users[int(u)].user_class.value for u in trace.user]
+    )
+    def of(cls):
+        mask = classes == cls.value
+        return {
+            "n": int(mask.sum()),
+            "nodes": trace.n_nodes[mask],
+            "walltime": trace.walltime_h[mask],
+            "memory": trace.max_memory_gb[mask],
+        }
+    return {cls: of(cls) for cls in UserClass}
+
+
+def test_every_class_runs_jobs(per_class):
+    for cls, stats in per_class.items():
+        assert stats["n"] > 10, f"{cls} barely ran"
+
+
+def test_capability_jobs_are_biggest(per_class):
+    cap = np.median(per_class[UserClass.CAPABILITY]["nodes"])
+    for other in (UserClass.ORDINARY, UserClass.MARATHON, UserClass.MEMORY_HOG):
+        assert cap > np.median(per_class[other]["nodes"])
+
+
+def test_marathon_jobs_run_longest(per_class):
+    mara = np.median(per_class[UserClass.MARATHON]["walltime"])
+    for other in (UserClass.ORDINARY, UserClass.CAPABILITY, UserClass.MEMORY_HOG):
+        assert mara > np.median(per_class[other]["walltime"])
+
+
+def test_marathon_jobs_are_small(per_class):
+    assert np.median(per_class[UserClass.MARATHON]["nodes"]) < 100
+
+
+def test_memory_hogs_use_most_per_node_memory(per_class):
+    hog = np.median(per_class[UserClass.MEMORY_HOG]["memory"])
+    for other in (UserClass.ORDINARY, UserClass.CAPABILITY, UserClass.MARATHON):
+        assert hog > 1.5 * np.median(per_class[other]["memory"])
+
+
+def test_memory_hogs_are_short_and_small(per_class):
+    hog = per_class[UserClass.MEMORY_HOG]
+    mara = per_class[UserClass.MARATHON]
+    cap = per_class[UserClass.CAPABILITY]
+    assert np.median(hog["walltime"]) < np.median(mara["walltime"])
+    assert np.median(hog["nodes"]) < np.median(cap["nodes"])
+
+
+def test_walltime_cap_enforced(smoke_dataset):
+    assert smoke_dataset.trace.walltime_h.max() <= 24.0 + 1e-9
+
+
+def test_memory_cap_enforced(smoke_dataset):
+    assert smoke_dataset.trace.max_memory_gb.max() <= 32.0 + 1e-9
