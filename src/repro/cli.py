@@ -7,6 +7,7 @@ Commands
 ``figures``       regenerate the paper's tables/figures from a scenario
 ``observations``  check every Observation 1–14 and print a scorecard
 ``fleet-health``  the operator triage summary
+``lint``          AST determinism/invariant linter over the source tree
 
 The CLI is a thin veneer over the library; each command maps onto the
 public API one-to-one so scripts can graduate to imports.
@@ -69,6 +70,13 @@ def build_parser() -> argparse.ArgumentParser:
         "calibration", help="validate measured statistics against RateConfig"
     )
     _add_common(p_cal)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism & invariant linter (RL001-RL006)"
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -243,12 +251,20 @@ def cmd_calibration(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_lint(args) -> int:
+    """Run the AST determinism/invariant linter (see :mod:`repro.lint`)."""
+    from repro.lint.cli import cmd_lint as _cmd_lint
+
+    return _cmd_lint(args)
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "figures": cmd_figures,
     "observations": cmd_observations,
     "fleet-health": cmd_fleet_health,
     "calibration": cmd_calibration,
+    "lint": cmd_lint,
 }
 
 

@@ -33,6 +33,7 @@ from repro.gpu.fleet import GPUFleet
 from repro.gpu.k20x import K20X, MemoryStructure
 from repro.topology.machine import TitanMachine
 from repro.topology.thermal import ThermalModel
+from repro.units import HOUR
 from repro.workload.lookup import JobLocator
 
 __all__ = ["HardwareInjector", "HardwareOutcome"]
@@ -167,7 +168,7 @@ class HardwareInjector:
                     self.rng,
                     burst_rate_per_second=(
                         rates.otb_rate_before_fix_per_hour
-                        / 3600.0
+                        / HOUR
                         / rates.otb_cluster_size_mean
                     ),
                     events_per_burst_mean=rates.otb_cluster_size_mean,
@@ -183,7 +184,7 @@ class HardwareInjector:
                         self.rng,
                         burst_rate_per_second=(
                             rates.otb_rate_before_fix_per_hour
-                            / 3600.0
+                            / HOUR
                             / rates.otb_cluster_size_mean
                         ),
                         events_per_burst_mean=rates.otb_cluster_size_mean,
@@ -192,7 +193,7 @@ class HardwareInjector:
                 )
             pieces.append(
                 hpp_times(
-                    rates.otb_rate_after_fix_per_hour / 3600.0,
+                    rates.otb_rate_after_fix_per_hour / HOUR,
                     max(start, fix),
                     end,
                     self.rng,

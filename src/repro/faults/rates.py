@@ -15,7 +15,7 @@ import datetime as _dt
 from dataclasses import dataclass, field, replace
 
 from repro.gpu.k20x import MemoryStructure
-from repro.units import HOUR, datetime_to_timestamp
+from repro.units import DAY, HOUR, datetime_to_timestamp
 
 __all__ = ["RateConfig", "DRIVER_UPGRADE_TIME", "OTB_FIX_TIME"]
 
@@ -62,7 +62,7 @@ class RateConfig:
     otb_fix_time: float | None = OTB_FIX_TIME
     #: OTB events cluster ("these errors were mostly clustered").
     otb_cluster_size_mean: float = 3.0
-    otb_cluster_duration_s: float = 2 * 24 * 3600.0
+    otb_cluster_duration_s: float = 2 * DAY
 
     # ---- ECC page retirement (Observation 5, Figs. 6–8) ----------------------
     #: Driver supporting retirement lands Jan'2014 (Fig. 6 onset).
@@ -114,7 +114,7 @@ class RateConfig:
     #: exception). Bursty: "multiple errors happening on the same day".
     xid13_burst_rate_per_hour: float = 0.005
     xid13_events_per_burst: float = 3.0
-    xid13_burst_duration_s: float = 6 * 3600.0
+    xid13_burst_duration_s: float = 6 * HOUR
     #: Deadline-week modulation amplitude (weeks before conference
     #: deadlines see "significantly more" failures).
     xid13_deadline_boost: float = 3.0

@@ -1,0 +1,47 @@
+"""``repro.lint`` — AST-based determinism & invariant linter.
+
+The study's evidentiary chain rests on reproducible statistics from a
+seeded generative model of Titan; a hidden RNG stream, a wall-clock
+read, or set-iteration nondeterminism silently invalidates the
+calibration against the paper's figures.  This package turns those
+project conventions into machine-checked rules:
+
+========  ======================  =============================================
+code      name                    invariant
+========  ======================  =============================================
+RL001     no-ambient-rng          all randomness flows through RngTree streams
+RL002     no-wall-clock           sim/faults/workload/telemetry never read the
+                                  host clock
+RL003     no-unordered-iteration  no iteration over bare sets / ``.keys()``
+RL004     no-builtin-hash         stream keys use zlib.crc32, never ``hash()``
+RL005     xid-in-taxonomy         XID literals must exist in ``repro.errors``
+RL006     no-magic-durations      use ``repro.units`` HOUR/DAY/WEEK helpers
+========  ======================  =============================================
+
+Run it as ``python -m repro lint [--format json] [--select RULES]
+[paths]``; suppress a single line with ``# repro: noqa[RL001]``.
+"""
+
+from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, resolve_selection
+from repro.lint.reporters import render_human, render_json, render_rule_list
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "LintResult",
+    "all_rules",
+    "get_rule",
+    "resolve_selection",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_human",
+    "render_json",
+    "render_rule_list",
+]

@@ -1,0 +1,72 @@
+"""The ``repro lint`` subcommand.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI stays a thin
+dispatcher and so mypy's strict mode covers the whole lint package.
+
+Exit codes: 0 clean, 1 findings present, 2 bad invocation (unknown
+rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.reporters import render_human, render_json, render_rule_list
+
+__all__ = ["add_lint_arguments", "cmd_lint", "default_lint_root"]
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint "
+        "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        dest="format_",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to run, e.g. RL001,RL004 "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the linter per parsed arguments; returns the exit code."""
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    paths = list(args.paths) or [default_lint_root()]
+    try:
+        result = lint_paths(paths, select=args.select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format_ == "json" else render_human
+    print(renderer(result))
+    return result.exit_code

@@ -1,0 +1,99 @@
+"""Per-module analysis context: parsed AST plus name resolution.
+
+The rules never look at raw tokens; they ask the context two questions:
+
+* :meth:`ModuleContext.resolve` — what fully-qualified dotted name does
+  this expression denote, given the module's imports?  (``np.random.
+  default_rng`` resolves to ``numpy.random.default_rng`` whether numpy
+  was imported as ``np``, ``numpy``, or ``from numpy import random``.)
+* :meth:`ModuleContext.in_dirs` — does the file live under one of the
+  scoped package directories (used by path-scoped rules like RL002)?
+
+Resolution is intentionally syntactic: it tracks ``import`` /
+``from … import`` aliases but not local rebinding, which keeps the
+linter fast, dependency-free and predictable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ModuleContext", "build_context"]
+
+
+def _collect_import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported from."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — origin unknown, skip
+                continue
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to analyze one Python module."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def module_name(self) -> str:
+        """Bare filename, e.g. ``rng.py`` (used for per-file exemptions)."""
+        return self.path.name
+
+    def in_dirs(self, dirnames: frozenset[str]) -> bool:
+        """True if any directory component of ``path`` is in ``dirnames``."""
+        return any(part in dirnames for part in self.path.parts[:-1])
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of an expression, or ``None``.
+
+        ``Name`` nodes resolve through the module's import aliases;
+        unimported names resolve to themselves (builtins such as
+        ``hash`` or ``set`` therefore resolve to ``"hash"``/``"set"``).
+        Anything that is not a pure ``Name``/``Attribute`` chain
+        resolves to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def build_context(path: Path, source: str | None = None) -> ModuleContext:
+    """Parse ``path`` (or the given ``source``) into a ModuleContext.
+
+    Raises :class:`SyntaxError` on unparseable input; the engine turns
+    that into an ``RL000`` finding rather than aborting the run.
+    """
+    text = path.read_text(encoding="utf-8") if source is None else source
+    tree = ast.parse(text, filename=str(path))
+    return ModuleContext(
+        path=path,
+        source=text,
+        tree=tree,
+        lines=tuple(text.splitlines()),
+        aliases=_collect_import_aliases(tree),
+    )

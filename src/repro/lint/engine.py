@@ -1,0 +1,126 @@
+"""File discovery and rule execution.
+
+:func:`lint_paths` is the single entry point: give it files and/or
+directories plus an optional rule selection, get back a
+:class:`LintResult` with sorted findings.  Unparseable files become
+``RL000`` findings instead of aborting the run, so one syntax error
+cannot hide the rest of the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.context import ModuleContext, build_context
+from repro.lint.findings import Finding, Severity
+from repro.lint.noqa import apply_suppressions, collect_suppressions
+from repro.lint.registry import Rule, resolve_selection
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths", "lint_source"]
+
+#: Pseudo-rule code attached to files the linter could not parse.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    rule_codes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings at all."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 findings present."""
+        return 0 if self.ok else 1
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively; ``__pycache__`` is skipped.
+    Missing paths raise ``FileNotFoundError`` (a lint run against a
+    typo'd path must not silently pass).
+    """
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    # De-duplicate while keeping deterministic sorted order.
+    return sorted(set(out))
+
+
+def _check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    table = collect_suppressions(ctx.lines)
+    return apply_suppressions(findings, table)
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "<memory>",
+    select: str | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet (the unit-test entry point)."""
+    rules = [cls() for cls in resolve_selection(select)]
+    ctx = build_context(Path(filename), source=source)
+    return sorted(_check_module(ctx, rules))
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: str | None = None,
+) -> LintResult:
+    """Lint files/directories and return the aggregated result."""
+    rule_classes = resolve_selection(select)
+    rules = [cls() for cls in rule_classes]
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        try:
+            ctx = build_context(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        findings.extend(_check_module(ctx, rules))
+    return LintResult(
+        findings=tuple(sorted(findings)),
+        files_checked=len(files),
+        rule_codes=tuple(cls.code for cls in rule_classes),
+    )

@@ -1,0 +1,63 @@
+"""Finding and severity primitives for the determinism linter.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+deliberately a plain frozen dataclass so reporters can serialize it
+without knowing anything about the rule that produced it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How serious a violation is.
+
+    Both levels fail the lint run (the repo's invariants are hard
+    requirements); the distinction is advisory, for triage in large
+    reports.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Ordering is (path, line, col, code) so reports are stable
+    regardless of rule-execution order — the linter holds itself to
+    the same determinism standard it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The canonical one-line human rendering ``file:line:col``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

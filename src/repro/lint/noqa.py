@@ -1,0 +1,75 @@
+"""``# repro: noqa[...]`` suppression comments.
+
+Two forms are honoured, attached to the physical line of the finding::
+
+    risky_call()        # repro: noqa            (suppress every rule)
+    risky_call()        # repro: noqa[RL001]     (suppress listed rules)
+    risky_call()        # repro: noqa[RL001,RL006]
+
+Suppressions are deliberately namespaced (``repro:``) so they never
+collide with flake8/ruff ``# noqa`` semantics, and the linter reports
+which suppressions were *used* so dead ones can be pruned.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["Suppressions", "collect_suppressions", "apply_suppressions"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+class Suppressions:
+    """Per-line suppression table for one module."""
+
+    def __init__(self) -> None:
+        #: line number -> set of codes, or None meaning "all rules".
+        self._by_line: dict[int, set[str] | None] = {}
+        self.used: set[int] = set()
+
+    def add(self, line: int, codes: set[str] | None) -> None:
+        existing = self._by_line.get(line, set())
+        if codes is None or existing is None:
+            self._by_line[line] = None
+        else:
+            assert isinstance(existing, set)
+            self._by_line[line] = existing | codes
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and marks the suppression used) if ``finding`` is muted."""
+        codes = self._by_line.get(finding.line, set())
+        if finding.line not in self._by_line:
+            return False
+        if codes is None or finding.code.upper() in codes:
+            self.used.add(finding.line)
+            return True
+        return False
+
+
+def collect_suppressions(lines: Sequence[str]) -> Suppressions:
+    """Scan source lines for ``# repro: noqa`` markers."""
+    table = Suppressions()
+    for lineno, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            table.add(lineno, None)
+        else:
+            codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+            table.add(lineno, codes or None)
+    return table
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], table: Suppressions
+) -> list[Finding]:
+    """Drop findings muted by the module's suppression table."""
+    return [f for f in findings if not table.suppresses(f)]

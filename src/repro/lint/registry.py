@@ -1,0 +1,98 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register via the :func:`register` decorator, so adding a
+rule is: write a class in :mod:`repro.lint.rules`, decorate it, done —
+the engine, the CLI ``--select`` parser, ``--list-rules`` output and
+the documentation generator all pick it up from here.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from typing import ClassVar, TypeVar
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "resolve_selection"]
+
+
+class Rule(abc.ABC):
+    """One invariant check over a module's AST.
+
+    Class attributes
+    ----------------
+    code:
+        Stable identifier (``RL001`` …) used in reports, ``--select``
+        and ``# repro: noqa[...]`` suppressions.
+    name:
+        Short kebab-case rule name.
+    severity:
+        Default severity attached to the rule's findings.
+    rationale:
+        One-paragraph justification tied to the study's reproducibility
+        requirements (rendered into ``docs/LINT.md``).
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    rationale: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for this rule over one module."""
+
+    def finding(
+        self, ctx: ModuleContext, line: int, col: int, message: str
+    ) -> Finding:
+        """Helper constructing a Finding stamped with this rule's code."""
+        return Finding(
+            path=str(ctx.path),
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+R = TypeVar("R", bound=type[Rule])
+
+
+def register(rule_cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_cls.code
+    if code in _REGISTRY:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> tuple[type[Rule], ...]:
+    """Every registered rule class, sorted by code."""
+    return tuple(_REGISTRY[c] for c in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> type[Rule]:
+    """Look up one rule class by code."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def resolve_selection(select: str | None) -> tuple[type[Rule], ...]:
+    """Parse a ``--select`` string (``"RL001,RL004"``) into rule classes.
+
+    ``None`` or empty selects every registered rule.
+    """
+    if not select:
+        return all_rules()
+    codes = [c.strip().upper() for c in select.split(",") if c.strip()]
+    return tuple(get_rule(code) for code in codes)

@@ -1,0 +1,63 @@
+"""Human and JSON renderings of a :class:`LintResult`.
+
+The JSON schema (version 1) is stable and consumed by CI::
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "rules": ["RL001", ...],
+      "findings": [
+        {"path": ..., "line": ..., "col": ..., "rule": ...,
+         "severity": "error"|"warning", "message": ...},
+        ...
+      ],
+      "counts": {"RL001": 2, ...},
+      "ok": false
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import all_rules
+
+__all__ = ["render_human", "render_json", "render_rule_list", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: LintResult) -> str:
+    """Compiler-style report: one ``file:line:col`` line per finding."""
+    lines = [f.render() for f in result.findings]
+    counts = result.counts_by_rule()
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    if counts:
+        summary += " — " + ", ".join(f"{k}×{v}" for k, v in counts.items())
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (schema above)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules": list(result.rule_codes),
+        "findings": [f.to_dict() for f in result.findings],
+        "counts": result.counts_by_rule(),
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: code, name, severity, rationale."""
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.code}  {cls.name}  [{cls.severity}]")
+        lines.append(f"    {cls.rationale}")
+    return "\n".join(lines)

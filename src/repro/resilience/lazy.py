@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from repro.resilience.daly import daly_optimal_interval
+from repro.units import DAY, MINUTE
 
 __all__ = ["FixedIntervalPolicy", "HazardAwarePolicy"]
 
@@ -67,8 +68,8 @@ class HazardAwarePolicy:
     checkpoint_cost_s: float
     weibull_scale_s: float
     weibull_shape: float
-    min_interval_s: float = 60.0
-    max_interval_s: float = 24 * 3600.0
+    min_interval_s: float = MINUTE
+    max_interval_s: float = DAY
 
     def __post_init__(self) -> None:
         if self.checkpoint_cost_s <= 0:

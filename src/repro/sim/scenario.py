@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.faults.rates import RateConfig
 from repro.rng import DEFAULT_SEED
-from repro.units import STUDY_END, datetime_to_timestamp
+from repro.units import DAY, STUDY_END, datetime_to_timestamp
 from repro.workload.generator import WorkloadConfig
 
 __all__ = ["Scenario"]
@@ -111,7 +111,7 @@ class Scenario:
     def smoke(cls, seed: int = DEFAULT_SEED, days: float = 45.0) -> "Scenario":
         """Small fast scenario for unit tests: a short window early in
         the study with a lighter workload."""
-        end = days * 86_400.0
+        end = days * DAY
         return cls(
             name="smoke",
             seed=seed,

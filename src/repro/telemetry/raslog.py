@@ -28,15 +28,15 @@ import numpy as np
 from repro.errors.event import EventLog
 from repro.errors.xid import ErrorType
 from repro.topology.machine import TitanMachine
-from repro.units import datetime_to_timestamp, timestamp_to_datetime
+from repro.units import HOUR, MINUTE, datetime_to_timestamp, timestamp_to_datetime
 
 __all__ = ["NodeStateLog", "RepairModel", "render_ras_lines", "parse_ras_lines"]
 
 #: Error classes that take the node down, with (median, sigma) of the
 #: log-normal recovery time in seconds.
 _REPAIR_PROFILES: dict[ErrorType, tuple[float, float]] = {
-    ErrorType.DBE: (20 * 60.0, 0.4),  # warm boot + health check
-    ErrorType.OFF_THE_BUS: (4 * 3600.0, 0.6),  # hands-on reseat
+    ErrorType.DBE: (20 * MINUTE, 0.4),  # warm boot + health check
+    ErrorType.OFF_THE_BUS: (4 * HOUR, 0.6),  # hands-on reseat
 }
 
 

@@ -73,6 +73,36 @@ def _job_router_coords(
     return np.stack([x, y, z], axis=1)
 
 
+def _pair_indices(
+    n: int,
+    max_pairs: int,
+    rng: np.random.Generator | None,
+    caller: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs for a pairwise statistic: exact below ``max_pairs``,
+    uniformly sampled above (which *requires* an explicit generator).
+
+    The sampled branch used to fall back to ``np.random.default_rng(0)``;
+    that hid a second RNG root outside :class:`repro.rng.RngTree` and
+    violated the single-root-seed contract (RL001), so large allocations
+    now demand a caller-provided stream.
+    """
+    n_pairs = n * (n - 1) // 2
+    if n_pairs <= max_pairs:
+        return np.triu_indices(n, k=1)
+    if rng is None:
+        raise ValueError(
+            f"{caller}: allocation has {n_pairs:,} pairs (> max_pairs="
+            f"{max_pairs:,}) and must be sampled; pass rng= a Generator "
+            "derived from the scenario RngTree "
+            '(e.g. tree.generator("topology.routing"))'
+        )
+    idx_a = rng.integers(0, n, size=max_pairs)
+    idx_b = rng.integers(0, n, size=max_pairs)
+    keep = idx_a != idx_b
+    return idx_a[keep], idx_b[keep]
+
+
 def average_pairwise_hops(
     torus: GeminiTorus,
     positions: np.ndarray,
@@ -83,23 +113,15 @@ def average_pairwise_hops(
     """Mean hop distance over node pairs of an allocation.
 
     Exact for small allocations; uniformly sampled beyond ``max_pairs``
-    pairs (deterministic given ``rng``).
+    pairs, in which case an explicit ``rng`` (an ``RngTree``-derived
+    generator) is required — there is deliberately no seeded fallback.
     """
     positions = np.asarray(positions)
     n = positions.size
     if n < 2:
         return 0.0
     coords = _job_router_coords(torus, positions)
-    n_pairs = n * (n - 1) // 2
-    if n_pairs <= max_pairs:
-        idx_a, idx_b = np.triu_indices(n, k=1)
-    else:
-        if rng is None:
-            rng = np.random.default_rng(0)
-        idx_a = rng.integers(0, n, size=max_pairs)
-        idx_b = rng.integers(0, n, size=max_pairs)
-        keep = idx_a != idx_b
-        idx_a, idx_b = idx_a[keep], idx_b[keep]
+    idx_a, idx_b = _pair_indices(n, max_pairs, rng, "average_pairwise_hops")
     total = np.zeros(idx_a.size)
     for dim, size in enumerate(_SIZES):
         d = np.abs(coords[idx_a, dim] - coords[idx_b, dim])
@@ -117,23 +139,16 @@ def link_load(
     """Per-dimension mean hops of an all-to-all within an allocation.
 
     Returns ``{"x": ..., "y": ..., "z": ...}``; a compact allocation
-    keeps X (the folded, cable-limited dimension) small.
+    keeps X (the folded, cable-limited dimension) small.  Beyond
+    ``max_pairs`` pairs the statistic is sampled and an explicit
+    ``rng`` is required (see :func:`average_pairwise_hops`).
     """
     positions = np.asarray(positions)
     n = positions.size
     if n < 2:
         return {"x": 0.0, "y": 0.0, "z": 0.0}
     coords = _job_router_coords(torus, positions)
-    n_pairs = n * (n - 1) // 2
-    if n_pairs <= max_pairs:
-        idx_a, idx_b = np.triu_indices(n, k=1)
-    else:
-        if rng is None:
-            rng = np.random.default_rng(0)
-        idx_a = rng.integers(0, n, size=max_pairs)
-        idx_b = rng.integers(0, n, size=max_pairs)
-        keep = idx_a != idx_b
-        idx_a, idx_b = idx_a[keep], idx_b[keep]
+    idx_a, idx_b = _pair_indices(n, max_pairs, rng, "link_load")
     out = {}
     for name, dim, size in (("x", 0, TORUS_X), ("y", 1, TORUS_Y), ("z", 2, TORUS_Z)):
         d = np.abs(coords[idx_a, dim] - coords[idx_b, dim])

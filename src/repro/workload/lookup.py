@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import DAY
 from repro.workload.jobs import JobTrace
 
 __all__ = ["JobLocator"]
@@ -28,7 +29,7 @@ class JobLocator:
     """
 
     #: Width of the day-bucket index used by :meth:`running_at`.
-    BUCKET_S = 86_400.0
+    BUCKET_S = DAY
 
     def __init__(self, trace: JobTrace, allocation_rank: np.ndarray) -> None:
         self.trace = trace

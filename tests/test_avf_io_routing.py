@@ -170,26 +170,58 @@ class TestRouting:
             assert torus.hop_distance(a, b) == 1
 
     def test_compact_allocation_fewer_hops(self, bare_machine):
+        from repro.rng import RngTree
+
         torus = bare_machine.torus
         compact = bare_machine.gpu_position(
             bare_machine.allocation_order[:512]
         )
-        rng = np.random.default_rng(0)
+        tree = RngTree(0)
         scattered = bare_machine.gpu_position(
-            rng.choice(bare_machine.n_gpus, size=512, replace=False)
+            tree.generator("test.scatter").choice(
+                bare_machine.n_gpus, size=512, replace=False
+            )
         )
-        assert average_pairwise_hops(torus, compact) < average_pairwise_hops(
-            torus, scattered
+        hops = tree.generator("test.routing")
+        assert average_pairwise_hops(
+            torus, compact, rng=hops
+        ) < average_pairwise_hops(torus, scattered, rng=hops)
+
+    def test_large_allocation_requires_explicit_rng(self, bare_machine):
+        # The silent np.random.default_rng(0) fallback was a hidden
+        # second RNG root (RL001); sampling now demands a stream.
+        torus = bare_machine.torus
+        big = bare_machine.gpu_position(bare_machine.allocation_order[:512])
+        with pytest.raises(ValueError, match="RngTree"):
+            average_pairwise_hops(torus, big)
+        with pytest.raises(ValueError, match="RngTree"):
+            link_load(torus, big, max_pairs=10)
+
+    def test_sampled_hops_deterministic_per_stream(self, bare_machine):
+        from repro.rng import RngTree
+
+        torus = bare_machine.torus
+        big = bare_machine.gpu_position(bare_machine.allocation_order[:512])
+        a = average_pairwise_hops(
+            torus, big, rng=RngTree(7).fresh_generator("routing")
         )
+        b = average_pairwise_hops(
+            torus, big, rng=RngTree(7).fresh_generator("routing")
+        )
+        assert a == b
 
     def test_link_load_dimensions(self, bare_machine):
+        from repro.rng import RngTree
+
         torus = bare_machine.torus
         # all compute nodes of physical row 0 = torus X coordinate 0
         n_row0 = int(np.count_nonzero(bare_machine.row == 0))
         compact = bare_machine.gpu_position(
             bare_machine.allocation_order[:n_row0]
         )
-        load = link_load(torus, compact)
+        load = link_load(
+            torus, compact, rng=RngTree(0).generator("test.link_load")
+        )
         assert load["x"] == pytest.approx(0.0)  # single torus X coordinate
         assert load["y"] > 0 and load["z"] > 0
 

@@ -1,0 +1,387 @@
+"""Tests for the determinism & invariant linter (:mod:`repro.lint`).
+
+Each rule gets positive (violating) and negative (clean) inline
+fixtures linted through :func:`repro.lint.lint_source`; the CLI and
+reporters are tested end-to-end against a temporary fixture tree; and
+a self-check asserts the repo's own source lints clean — the invariant
+CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.lint import (
+    Severity,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_rule_list,
+    resolve_selection,
+)
+from repro.lint.engine import PARSE_ERROR_CODE, iter_python_files
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — ambient RNG
+# ---------------------------------------------------------------------------
+
+
+class TestRL001:
+    def test_flags_stdlib_random_import(self):
+        out = lint_source("import random\n", select="RL001")
+        assert codes(out) == ["RL001"]
+
+    def test_flags_from_random_import(self):
+        out = lint_source("from random import shuffle\n", select="RL001")
+        assert codes(out) == ["RL001"]
+
+    def test_flags_default_rng_under_alias(self):
+        src = "import numpy as np\ng = np.random.default_rng(0)\n"
+        out = lint_source(src, select="RL001")
+        assert codes(out) == ["RL001"]
+        assert "default_rng" in out[0].message
+
+    def test_flags_module_level_distribution_call(self):
+        src = "import numpy\nx = numpy.random.normal(0, 1)\n"
+        assert codes(lint_source(src, select="RL001")) == ["RL001"]
+
+    def test_flags_from_numpy_import_random(self):
+        src = "from numpy import random as npr\nx = npr.rand(3)\n"
+        assert codes(lint_source(src, select="RL001")) == ["RL001"]
+
+    def test_allows_seed_sequence_and_generator_types(self):
+        src = (
+            "import numpy as np\n"
+            "seq = np.random.SeedSequence(1)\n"
+            "def f(g: np.random.Generator) -> float:\n"
+            "    return g.random()\n"
+        )
+        assert lint_source(src, select="RL001") == []
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\ng = np.random.default_rng(7)\n"
+        assert lint_source(src, filename="src/repro/rng.py", select="RL001") == []
+        # ...but only rng.py itself, not other modules.
+        assert lint_source(src, filename="src/repro/sbe.py", select="RL001")
+
+
+# ---------------------------------------------------------------------------
+# RL002 — wall-clock reads, scoped to deterministic directories
+# ---------------------------------------------------------------------------
+
+
+class TestRL002:
+    SIM = "pkg/sim/engine.py"
+
+    def test_flags_time_time_in_sim(self):
+        src = "import time\nt = time.time()\n"
+        out = lint_source(src, filename=self.SIM, select="RL002")
+        assert codes(out) == ["RL002"]
+
+    def test_flags_datetime_now_with_alias(self):
+        src = "import datetime as _dt\nnow = _dt.datetime.now()\n"
+        out = lint_source(src, filename="x/telemetry/log.py", select="RL002")
+        assert codes(out) == ["RL002"]
+
+    def test_flags_from_import_datetime(self):
+        src = "from datetime import datetime\nnow = datetime.utcnow()\n"
+        out = lint_source(src, filename="a/faults/inj.py", select="RL002")
+        assert codes(out) == ["RL002"]
+
+    def test_unscoped_paths_are_allowed(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, filename="pkg/viz/render.py", select="RL002") == []
+
+    def test_constructing_datetimes_is_fine(self):
+        src = "import datetime as _dt\nepoch = _dt.datetime(2013, 6, 1)\n"
+        assert lint_source(src, filename=self.SIM, select="RL002") == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — unordered iteration
+# ---------------------------------------------------------------------------
+
+
+class TestRL003:
+    def test_flags_set_literal_for_loop(self):
+        src = "for x in {1, 2}:\n    pass\n"
+        assert codes(lint_source(src, select="RL003")) == ["RL003"]
+
+    def test_flags_set_call_comprehension(self):
+        src = "ys = [x for x in set([3, 1])]\n"
+        assert codes(lint_source(src, select="RL003")) == ["RL003"]
+
+    def test_flags_keys_iteration(self):
+        src = "d = {}\nfor k in d.keys():\n    pass\n"
+        assert codes(lint_source(src, select="RL003")) == ["RL003"]
+
+    def test_flags_list_wrapped_set(self):
+        src = "for x in list(set([1, 2])):\n    pass\n"
+        assert codes(lint_source(src, select="RL003")) == ["RL003"]
+
+    def test_sorted_wrap_is_clean(self):
+        src = (
+            "d = {}\n"
+            "for x in sorted({1, 2}):\n    pass\n"
+            "for k in sorted(d.keys()):\n    pass\n"
+        )
+        assert lint_source(src, select="RL003") == []
+
+    def test_dict_iteration_is_clean(self):
+        src = "d = {}\nfor k in d:\n    pass\nxs = list(d.keys())\n"
+        assert lint_source(src, select="RL003") == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — builtin hash()
+# ---------------------------------------------------------------------------
+
+
+class TestRL004:
+    def test_flags_builtin_hash(self):
+        out = lint_source("key = hash('faults.dbe')\n", select="RL004")
+        assert codes(out) == ["RL004"]
+        assert "crc32" in out[0].message
+
+    def test_crc32_is_clean(self):
+        src = "import zlib\nkey = zlib.crc32(b'faults.dbe')\n"
+        assert lint_source(src, select="RL004") == []
+
+    def test_method_hash_is_clean(self):
+        src = "class A:\n    def hash(self):\n        return 1\nA().hash()\n"
+        # obj.hash() is an attribute call, not the builtin.
+        assert lint_source(src, select="RL004") == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — XID literals must exist in the taxonomy
+# ---------------------------------------------------------------------------
+
+
+class TestRL005:
+    def test_known_xid_is_clean(self):
+        src = "from repro.errors import by_xid\nts = by_xid(48)\n"
+        assert lint_source(src, select="RL005") == []
+
+    def test_unknown_xid_in_by_xid_call(self):
+        src = "from repro.errors import by_xid\nts = by_xid(99)\n"
+        out = lint_source(src, select="RL005")
+        assert codes(out) == ["RL005"]
+        assert "99" in out[0].message
+
+    def test_unknown_xid_keyword(self):
+        src = "def emit(xid=None):\n    pass\nemit(xid=1234)\n"
+        assert codes(lint_source(src, select="RL005")) == ["RL005"]
+
+    def test_unknown_xid_comparison(self):
+        src = "def f(event):\n    return event.xid == 999\n"
+        assert codes(lint_source(src, select="RL005")) == ["RL005"]
+
+    def test_known_xid_comparison_clean(self):
+        src = "def f(event):\n    return event.xid == 63\n"
+        assert lint_source(src, select="RL005") == []
+
+    def test_unrelated_integers_ignored(self):
+        src = "n = 999\nif n == 999:\n    pass\n"
+        assert lint_source(src, select="RL005") == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — magic duration literals
+# ---------------------------------------------------------------------------
+
+
+class TestRL006:
+    @pytest.mark.parametrize(
+        "literal,helper",
+        [("3600", "HOUR"), ("86400.0", "DAY"), ("86_400.0", "DAY"),
+         ("604800", "WEEK")],
+    )
+    def test_flags_duration_literals(self, literal, helper):
+        out = lint_source(f"window = {literal}\n", select="RL006")
+        assert codes(out) == ["RL006"]
+        assert helper in out[0].message
+        assert out[0].severity is Severity.WARNING
+
+    def test_units_module_exempt(self):
+        src = "HOUR = 3600.0\n"
+        assert lint_source(src, filename="src/repro/units.py", select="RL006") == []
+
+    def test_benign_numbers_clean(self):
+        assert lint_source("n = 3601\nm = 60\n", select="RL006") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestNoqa:
+    def test_blanket_noqa(self):
+        src = "key = hash('x')  # repro: noqa\n"
+        assert lint_source(src, select="RL004") == []
+
+    def test_coded_noqa_suppresses_matching_rule(self):
+        src = "key = hash('x')  # repro: noqa[RL004]\n"
+        assert lint_source(src, select="RL004") == []
+
+    def test_coded_noqa_keeps_other_rules(self):
+        src = "import random  # repro: noqa[RL006]\n"
+        assert codes(lint_source(src, select="RL001")) == ["RL001"]
+
+    def test_noqa_is_line_scoped(self):
+        src = "# repro: noqa[RL004]\nkey = hash('x')\n"
+        assert codes(lint_source(src, select="RL004")) == ["RL004"]
+
+    def test_multiple_codes(self):
+        src = "t = 3600.0; k = hash('x')  # repro: noqa[RL004, RL006]\n"
+        assert lint_source(src, select="RL004,RL006") == []
+
+
+# ---------------------------------------------------------------------------
+# Engine, registry, reporters
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files(["/no/such/dir/anywhere"])
+
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = lint_paths([tmp_path])
+        assert codes(result.findings) == [PARSE_ERROR_CODE]
+        assert result.exit_code == 1
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("k = hash('x')\n")
+        (tmp_path / "a.py").write_text("t = 3600\nimport random\n")
+        r1 = lint_paths([tmp_path])
+        r2 = lint_paths([tmp_path])
+        assert r1.findings == r2.findings
+        assert [f.path for f in r1.findings] == sorted(
+            f.path for f in r1.findings
+        )
+
+    def test_unknown_rule_selection(self):
+        with pytest.raises(KeyError):
+            resolve_selection("RL999")
+
+    def test_registry_has_all_six_rules(self):
+        assert [cls.code for cls in all_rules()] == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]
+        assert get_rule("RL001").name == "no-ambient-rng"
+
+    def test_rule_list_renders_every_rationale(self):
+        text = render_rule_list()
+        for cls in all_rules():
+            assert cls.code in text
+            assert cls.rationale.split()[0] in text
+
+
+class TestJsonReport:
+    def test_schema_round_trips(self, tmp_path):
+        (tmp_path / "bad.py").write_text("key = hash('x')\n")
+        result = lint_paths([tmp_path])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["ok"] is False
+        assert payload["counts"] == {"RL004": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RL004"
+        assert finding["line"] == 1
+        assert finding["severity"] == "error"
+        assert finding["path"].endswith("bad.py")
+        assert set(payload["rules"]) >= {"RL001", "RL006"}
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end + self-check
+# ---------------------------------------------------------------------------
+
+
+def _package_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
+class TestCli:
+    def _fixture_tree(self, tmp_path: Path) -> Path:
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text(
+            "import random\n"
+            "import time\n"
+            "import numpy as np\n"
+            "from repro.errors import by_xid\n"
+            "g = np.random.default_rng(0)\n"
+            "t = time.time()\n"
+            "for x in {1, 2}:\n"
+            "    pass\n"
+            "k = hash('stream')\n"
+            "e = by_xid(99)\n"
+            "w = 86400.0\n"
+        )
+        return tmp_path
+
+    def test_fixture_tree_trips_every_rule(self, tmp_path, capsys):
+        rc = cli_main(["lint", str(self._fixture_tree(tmp_path))])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert code in out
+        # precise file:line rule message format
+        assert "sim/bad.py:1:0: RL001" in out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        rc = cli_main(
+            ["lint", "--format", "json", str(self._fixture_tree(tmp_path))]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["ok"] is False
+        assert set(payload["counts"]) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        }
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        rc = cli_main(
+            ["lint", "--select", "RL004", str(self._fixture_tree(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RL004" in out and "RL001" not in out
+
+    def test_bad_path_exits_2(self, capsys):
+        assert cli_main(["lint", "/no/such/path"]) == 2
+
+    def test_bad_selection_exits_2(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        assert cli_main(["lint", "--select", "RL999", str(tmp_path)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        assert "RL005" in capsys.readouterr().out
+
+    def test_self_check_repo_is_clean(self, capsys):
+        """The repo's own source must lint clean — the CI invariant."""
+        rc = cli_main(["lint", str(_package_root())])
+        assert rc == 0, capsys.readouterr().out
+
+    def test_default_target_is_package(self, capsys):
+        rc = cli_main(["lint"])
+        assert rc == 0
