@@ -1,0 +1,292 @@
+"""Deterministic telemetry-corruption fault modes.
+
+Each mode is one realistic way production telemetry text gets damaged
+between the node and the analyst (all of them observed on real SMW
+streams and in the field-study follow-up literature):
+
+==============  ============================================================
+mode            real-world artifact
+==============  ============================================================
+``truncate``    torn write: the collector died mid-line / the disk filled
+``garble``      byte damage in flight or at rest (bad NFS, bit rot)
+``splice``      two records merged into one line (interleaved writers
+                without line buffering)
+``duplicate``   re-sent syslog segments, operator log re-splicing
+``displace``    out-of-order delivery: a line surfaces later in the stream
+``skew``        clock steps on the collector: timestamps shifted, possibly
+                *regressing* relative to neighbors
+``outage``      the SMW itself was down: a whole time span is missing
+==============  ============================================================
+
+Every mode is a pure function of ``(rng, lines)`` — callers derive the
+generator from an :class:`~repro.rng.RngTree`, which is what makes
+corruption byte-for-byte reproducible from a seed.  Modes never raise
+on weird input lines; they corrupt whatever text they are given.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+import numpy as np
+
+from repro.units import datetime_to_timestamp, timestamp_to_datetime
+
+__all__ = [
+    "truncate_lines",
+    "garble_lines",
+    "splice_lines",
+    "duplicate_lines",
+    "displace_lines",
+    "skew_timestamps",
+    "drop_outage_windows",
+    "draw_outage_windows",
+    "line_timestamps",
+]
+
+_STAMP_RE = re.compile(r"^(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6})")
+_STAMP_FORMAT = "%Y-%m-%dT%H:%M:%S.%f"
+
+#: Replacement characters for garbling: printable noise plus the control
+#: bytes real corruption produces (NUL, ESC, DEL, high bit set).
+_GARBLE_POOL = (
+    "abcdefghijklmnopqrstuvwxyz0123456789 #@!?~^%$&*()[]{}<>|/\\'\"+-=_.,:;"
+    "\x00\x01\x1b\x7f\xff\t"
+)
+
+
+def _line_stamp(line: str) -> float | None:
+    """Timestamp of a log line, or None if the prefix is unreadable."""
+    match = _STAMP_RE.match(line)
+    if match is None:
+        return None
+    try:
+        when = _dt.datetime.strptime(match.group(1), _STAMP_FORMAT)
+    except ValueError:
+        return None
+    return datetime_to_timestamp(when)
+
+
+def line_timestamps(lines: list[str]) -> np.ndarray:
+    """Per-line timestamps (NaN where the stamp is unreadable)."""
+    return np.asarray(
+        [ts if (ts := _line_stamp(line)) is not None else np.nan
+         for line in lines],
+        dtype=np.float64,
+    )
+
+
+# --------------------------------------------------------------------------
+# Line-level modes
+# --------------------------------------------------------------------------
+
+
+def truncate_lines(
+    rng: np.random.Generator, lines: list[str], rate: float
+) -> tuple[list[str], int]:
+    """Torn writes: cut selected lines at a random byte offset."""
+    if rate <= 0.0 or not lines:
+        return list(lines), 0
+    hit = rng.random(len(lines)) < rate
+    out: list[str] = []
+    n = 0
+    for line, damaged in zip(lines, hit):
+        if damaged and line:
+            cut = int(rng.integers(0, len(line)))
+            out.append(line[:cut])
+            n += 1
+        else:
+            out.append(line)
+    return out, n
+
+
+def garble_lines(
+    rng: np.random.Generator, lines: list[str], rate: float
+) -> tuple[list[str], int]:
+    """Byte damage: overwrite 1–4 random characters of selected lines."""
+    if rate <= 0.0 or not lines:
+        return list(lines), 0
+    hit = rng.random(len(lines)) < rate
+    out: list[str] = []
+    n = 0
+    for line, damaged in zip(lines, hit):
+        if damaged and line:
+            chars = list(line)
+            for _ in range(int(rng.integers(1, 5))):
+                pos = int(rng.integers(0, len(chars)))
+                chars[pos] = _GARBLE_POOL[
+                    int(rng.integers(0, len(_GARBLE_POOL)))
+                ]
+            out.append("".join(chars))
+            n += 1
+        else:
+            out.append(line)
+    return out, n
+
+
+def splice_lines(
+    rng: np.random.Generator, lines: list[str], rate: float
+) -> tuple[list[str], int]:
+    """Interleaved writers: merge selected lines into their successor.
+
+    The selected line loses its tail (a torn write) and the remainder
+    of the next record lands on the same physical line — exactly the
+    artifact the parser's resync-on-garbage recovery targets.
+    """
+    if rate <= 0.0 or len(lines) < 2:
+        return list(lines), 0
+    hit = rng.random(len(lines) - 1) < rate
+    out: list[str] = []
+    n = 0
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if i < len(lines) - 1 and hit[i] and line:
+            cut = int(rng.integers(0, len(line)))
+            out.append(line[:cut] + lines[i + 1])
+            i += 2
+            n += 1
+        else:
+            out.append(line)
+            i += 1
+    return out, n
+
+
+def duplicate_lines(
+    rng: np.random.Generator, lines: list[str], rate: float
+) -> tuple[list[str], int]:
+    """Re-sent segments: emit selected lines twice, back to back."""
+    if rate <= 0.0 or not lines:
+        return list(lines), 0
+    hit = rng.random(len(lines)) < rate
+    out: list[str] = []
+    n = 0
+    for line, doubled in zip(lines, hit):
+        out.append(line)
+        if doubled:
+            out.append(line)
+            n += 1
+    return out, n
+
+
+def displace_lines(
+    rng: np.random.Generator,
+    lines: list[str],
+    rate: float,
+    *,
+    max_offset: int = 32,
+) -> tuple[list[str], int]:
+    """Out-of-order delivery: move selected lines later in the stream."""
+    if rate <= 0.0 or len(lines) < 2:
+        return list(lines), 0
+    hit = np.flatnonzero(rng.random(len(lines)) < rate)
+    offsets = {
+        int(i): int(rng.integers(1, max_offset + 1)) for i in hit
+    }
+    out = list(lines)
+    # Apply moves in ascending index order; each move is a remove+insert
+    # on the running list, so later moves see earlier displacements —
+    # deterministic, and a faithful model of queued late flushes.
+    for i in sorted(offsets):
+        if i >= len(out):
+            continue
+        line = out.pop(i)
+        out.insert(min(i + offsets[i], len(out)), line)
+    return out, len(offsets)
+
+
+def skew_timestamps(
+    rng: np.random.Generator,
+    lines: list[str],
+    rate: float,
+    *,
+    max_skew_s: float = 120.0,
+) -> tuple[list[str], int]:
+    """Clock steps: shift selected stamps by up to ±``max_skew_s``.
+
+    Negative shifts produce local timestamp *regressions*, the
+    signature of an NTP step on the collector.
+    """
+    if rate <= 0.0 or not lines:
+        return list(lines), 0
+    hit = rng.random(len(lines)) < rate
+    out: list[str] = []
+    n = 0
+    for line, skewed in zip(lines, hit):
+        stamp = _line_stamp(line) if skewed else None
+        if stamp is None:
+            out.append(line)
+            continue
+        shift = float(rng.uniform(-max_skew_s, max_skew_s))
+        when = timestamp_to_datetime(stamp + shift)
+        new_stamp = when.strftime(_STAMP_FORMAT)
+        out.append(new_stamp + line[len(new_stamp):])
+        n += 1
+    return out, n
+
+
+# --------------------------------------------------------------------------
+# Outage windows
+# --------------------------------------------------------------------------
+
+
+def draw_outage_windows(
+    rng: np.random.Generator,
+    t0: float,
+    t1: float,
+    *,
+    n_outages: int,
+    mean_duration_s: float,
+) -> tuple[tuple[float, float], ...]:
+    """Sample SMW-outage windows inside ``[t0, t1]``.
+
+    Starts are uniform; durations are uniform in
+    ``[0.5, 1.5] × mean_duration_s`` (outages are bounded maintenance
+    events, not heavy-tailed).  Windows may overlap; the coverage model
+    merges them.
+    """
+    if n_outages <= 0 or t1 <= t0:
+        return ()
+    windows = []
+    for _ in range(int(n_outages)):
+        start = float(rng.uniform(t0, t1))
+        duration = float(rng.uniform(0.5, 1.5)) * mean_duration_s
+        windows.append((start, min(start + duration, t1)))
+    return tuple(sorted(windows))
+
+
+def _merge_windows(
+    windows: tuple[tuple[float, float], ...],
+) -> tuple[tuple[float, float], ...]:
+    """Sort and merge possibly-overlapping windows."""
+    merged: list[tuple[float, float]] = []
+    for lo, hi in sorted(windows):
+        if hi <= lo:
+            continue
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+def drop_outage_windows(
+    lines: list[str], windows: tuple[tuple[float, float], ...]
+) -> tuple[list[str], int]:
+    """Remove every line whose timestamp falls inside an outage.
+
+    Lines without a readable stamp are kept — an outage removes spans
+    of *time*, and a stampless line carries no time.
+    """
+    windows = _merge_windows(windows)
+    if not windows:
+        return list(lines), 0
+    stamps = line_timestamps(lines)
+    edges = np.asarray(
+        [edge for window in windows for edge in window], dtype=np.float64
+    )
+    idx = np.searchsorted(edges, stamps, side="right")
+    inside = ((idx % 2) == 1) & ~np.isnan(stamps)
+    out = [line for line, drop in zip(lines, inside) if not drop]
+    return out, int(inside.sum())

@@ -3,10 +3,13 @@
 Commands
 --------
 ``simulate``      run a scenario, write the console log (and optionally
-                  the nvidia-smi fleet table) to disk
+                  the nvidia-smi fleet table) to disk; ``--chaos-rate``
+                  corrupts the rendered log before writing
 ``figures``       regenerate the paper's tables/figures from a scenario
 ``observations``  check every Observation 1–14 and print a scorecard
 ``fleet-health``  the operator triage summary
+``corrupt``       deterministically corrupt an existing log file
+``degradation``   corruption sweep: at what damage level do findings flip?
 ``lint``          AST determinism/invariant linter over the source tree
 
 The CLI is a thin veneer over the library; each command maps onto the
@@ -53,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--log-out", type=Path, default=Path("console.log"))
     p_sim.add_argument("--nvsmi-out", type=Path, default=None,
                        help="also write the fleet nvidia-smi table (CSV)")
+    p_sim.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="corrupt this fraction of console lines before "
+                            "writing (deterministic; uses the scenario seed)")
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     _add_common(p_fig)
@@ -71,6 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_cal)
 
+    p_cor = sub.add_parser(
+        "corrupt", help="deterministically corrupt a telemetry log file"
+    )
+    p_cor.add_argument("log", type=Path, help="input console-log text file")
+    p_cor.add_argument("--out", type=Path, default=None,
+                       help="output path (default: <log>.corrupt)")
+    p_cor.add_argument("--rate", type=float, default=0.01,
+                       help="total per-line corruption rate (spread "
+                            "uniformly over the fault modes)")
+    p_cor.add_argument("--seed", type=int, default=20131001)
+    p_cor.add_argument("--outages", type=int, default=0,
+                       help="also drop this many SMW-outage windows")
+    p_cor.add_argument("--outage-hours", type=float, default=6.0,
+                       help="mean outage duration in hours")
+
+    p_deg = sub.add_parser(
+        "degradation",
+        help="corruption sweep: rerun the scorecard on damaged telemetry",
+    )
+    _add_common(p_deg)
+    p_deg.add_argument("--levels", type=str, default="0,0.001,0.01,0.05,0.2",
+                       help="comma-separated corruption levels to sweep")
+    p_deg.add_argument("--budget", type=float, default=0.05,
+                       help="parser error budget (fraction of corrupt lines)")
+    p_deg.add_argument("--fail-level", type=float, default=None,
+                       help="exit non-zero if any check flips at a level "
+                            "<= this threshold")
+
     p_lint = sub.add_parser(
         "lint", help="run the determinism & invariant linter (RL001-RL006)"
     )
@@ -83,10 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_simulate(args) -> int:
     from repro.sim import TitanSimulation
 
-    dataset = TitanSimulation(_scenario(args)).run()
-    args.log_out.write_text(dataset.console_text)
+    scenario = _scenario(args)
+    dataset = TitanSimulation(scenario).run()
+    text = dataset.console_text
+    if args.chaos_rate > 0.0:
+        from repro.chaos import ChaosConfig, CorruptionInjector
+
+        injector = CorruptionInjector(
+            ChaosConfig.uniform(args.chaos_rate), seed=scenario.seed
+        )
+        result = injector.corrupt_text(text)
+        text = result.text
+        print(f"chaos: corrupted {result.total_corrupted:,} of "
+              f"{result.n_lines_in:,} lines at rate {args.chaos_rate}")
+    args.log_out.write_text(text)
     print(f"wrote {args.log_out} "
-          f"({dataset.console_text.count(chr(10)):,} lines)")
+          f"({text.count(chr(10)):,} lines)")
     if args.nvsmi_out is not None:
         from repro.viz.csvout import write_rows_csv
 
@@ -140,77 +186,97 @@ def cmd_figures(args) -> int:
 
 
 def cmd_observations(args) -> int:
-    """Score the observation suite; non-zero exit if any claim fails."""
-    from repro.core import TitanStudy
+    """Score the observation suite; non-zero exit if any claim fails.
+
+    The check logic lives in :func:`repro.core.observation_scorecard`
+    so the chaos degradation experiment reruns exactly the same suite.
+    """
+    from repro.core import TitanStudy, observation_scorecard
     from repro.sim import TitanSimulation
 
     dataset = TitanSimulation(_scenario(args)).run()
-    study = TitanStudy(dataset)
-    checks: list[tuple[str, bool]] = []
+    checks = observation_scorecard(TitanStudy(dataset))
 
-    fig2 = study.fig2()
-    checks.append((
-        "Obs 1: DBE stream not bursty",
-        fig2.burstiness is not None and not fig2.burstiness.is_bursty,
-    ))
-    console, nvsmi = study.nvsmi_vs_console_dbe()
-    checks.append(("Obs 2: nvidia-smi undercounts DBEs", nvsmi <= console))
-    fractions = study.fig3().structure_fractions
-    checks.append((
-        "Obs 3: device memory dominates DBEs",
-        fractions.get("device_memory", 0.0) > 0.5,
-    ))
-    fig5 = study.fig5()
-    checks.append((
-        "Obs 4: OTB prefers upper cages",
-        fig5.cage_events.sum() == 0 or fig5.cage_events[2] >= fig5.cage_events[0],
-    ))
-    fig10 = study.fig10()
-    checks.append((
-        "Obs 6: XID 13 bursty",
-        fig10.burstiness is not None and fig10.burstiness.is_bursty,
-    ))
-    fig12 = study.fig12()
-    checks.append((
-        "Obs 7: 5 s filter collapses job echoes",
-        fig12.n_filtered < fig12.n_unfiltered / 10,
-    ))
-    fig14 = study.fig14()
-    checks.append((
-        "Obs 10: <5 % of cards see SBEs",
-        fig14.fleet_fraction_with_sbe < 0.05,
-    ))
-    checks.append((
-        "Obs 10: exclusion reduces skew",
-        fig14.skewness["all"] >= fig14.skewness["minus_top50"],
-    ))
-    try:
-        report = study.figs16_19()
-        checks.append((
-            "Obs 11: memory correlation weak",
-            abs(report.all_jobs["max_memory_gb"].spearman) < 0.5,
-        ))
-        checks.append((
-            "Obs 12: core-hours correlate",
-            report.all_jobs["gpu_core_hours"].spearman > 0.3,
-        ))
-        fig20 = study.fig20()
-        checks.append((
-            "Obs 13: user level beats job level",
-            fig20.all_users.spearman
-            >= report.all_jobs["gpu_core_hours"].spearman,
-        ))
-    except (ValueError, KeyError):
-        checks.append(("Obs 11-13: snapshot window too small", False))
-    checks.append(("Obs 14: workload shape", study.fig21().observation_14_holds()))
-
-    width = max(len(name) for name, _ in checks)
+    width = max(len(check.name) for check in checks)
     failed = 0
-    for name, ok in checks:
-        print(f"  {name:<{width}}  {'PASS' if ok else 'FAIL'}")
-        failed += 0 if ok else 1
+    for check in checks:
+        suffix = f"  ({check.detail})" if check.detail and not check.ok else ""
+        print(f"  {check.name:<{width}}  "
+              f"{'PASS' if check.ok else 'FAIL'}{suffix}")
+        failed += 0 if check.ok else 1
     print(f"\n{len(checks) - failed}/{len(checks)} observation checks pass")
     return 1 if failed else 0
+
+
+def cmd_corrupt(args) -> int:
+    """Deterministically corrupt a telemetry log file on disk."""
+    from repro.chaos import ChaosConfig, CorruptionInjector
+    from repro.units import HOUR
+
+    if not args.log.exists():
+        print(f"error: no such file: {args.log}", file=sys.stderr)
+        return 2
+    config = ChaosConfig.uniform(args.rate)
+    if args.outages > 0:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            n_outages=args.outages,
+            outage_duration_s=args.outage_hours * HOUR,
+        )
+    injector = CorruptionInjector(config, seed=args.seed)
+    result = injector.corrupt_text(args.log.read_text())
+    out = args.out if args.out is not None else args.log.with_suffix(
+        args.log.suffix + ".corrupt"
+    )
+    out.write_text(result.text)
+    print(f"wrote {out} ({result.n_lines_out:,} lines, "
+          f"{result.total_corrupted:,} corrupted of {result.n_lines_in:,})")
+    for mode in sorted(result.counts):
+        print(f"  {mode:<12} {result.counts[mode]:,}")
+    return 0
+
+
+def cmd_degradation(args) -> int:
+    """Run the graceful-degradation sweep and print the flip table."""
+    from repro.chaos import run_degradation
+
+    levels = tuple(
+        float(level) for level in args.levels.split(",") if level.strip()
+    )
+    curve = run_degradation(
+        _scenario(args),
+        levels=levels,
+        seed=args.seed,
+        error_budget=args.budget,
+    )
+    n_checks = len(curve.baseline.checks)
+    print(f"{'level':>8}  {'pass':>5}  {'degraded':>8}  {'corrupt':>8}  "
+          f"{'coverage':>8}  {'mtbf_h':>8}  flips")
+    for point in curve.points:
+        flips = curve.flips_at(point)
+        mtbf = "-" if point.mtbf_hours is None else f"{point.mtbf_hours:.1f}"
+        print(f"{point.level:>8.3%}  {point.n_pass:>2}/{n_checks:<2}  "
+              f"{'yes' if point.degraded else 'no':>8}  "
+              f"{point.corrupt_fraction:>8.3%}  "
+              f"{point.coverage_fraction:>8.1%}  {mtbf:>8}  "
+              f"{', '.join(flips) if flips else '-'}")
+    print(f"\nscorecard stable through {curve.max_stable_level():.3%} "
+          "line corruption")
+    if args.fail_level is not None:
+        bad = [
+            point
+            for point in curve.points
+            if point.level <= args.fail_level and curve.flips_at(point)
+        ]
+        if bad:
+            worst = min(point.level for point in bad)
+            print(f"FAIL: scorecard flipped at level {worst:.3%} "
+                  f"(<= --fail-level {args.fail_level:.3%})")
+            return 1
+        print(f"OK: no flips at levels <= {args.fail_level:.3%}")
+    return 0
 
 
 def cmd_fleet_health(args) -> int:
@@ -264,6 +330,8 @@ _COMMANDS = {
     "observations": cmd_observations,
     "fleet-health": cmd_fleet_health,
     "calibration": cmd_calibration,
+    "corrupt": cmd_corrupt,
+    "degradation": cmd_degradation,
     "lint": cmd_lint,
 }
 

@@ -74,6 +74,11 @@ from repro.core.prediction import (
 from repro.core.availability import AvailabilityReport, availability_report
 from repro.core.export import study_summary, write_summary_json
 from repro.core.impact import ImpactReport, application_impact
+from repro.core.observations import (
+    ObservationCheck,
+    observation_scorecard,
+    scorecard_flips,
+)
 from repro.core.opsreport import MonthlyOpsReport, build_monthly_report
 from repro.core.study import TitanStudy
 
@@ -120,5 +125,8 @@ __all__ = [
     "application_impact",
     "MonthlyOpsReport",
     "build_monthly_report",
+    "ObservationCheck",
+    "observation_scorecard",
+    "scorecard_flips",
     "TitanStudy",
 ]

@@ -42,6 +42,7 @@ from repro.errors.event import EventLog, structure_from_code
 from repro.errors.xid import ErrorType, table1_rows, table2_rows
 from repro.gpu.k20x import MemoryStructure
 from repro.sim.simulation import SimulationDataset
+from repro.telemetry.coverage import LOW_COVERAGE_THRESHOLD, ObservedWindows
 from repro.telemetry.jobsnap import JobSnapshotFramework
 
 __all__ = ["TitanStudy"]
@@ -49,13 +50,21 @@ __all__ = ["TitanStudy"]
 
 @dataclass(frozen=True)
 class MonthlyFigure:
-    """A monthly-frequency figure (2, 4, 6, 9, 10, 11)."""
+    """A monthly-frequency figure (2, 4, 6, 9, 10, 11).
+
+    ``coverage_fraction``/``low_coverage`` annotate the statistic's
+    confidence when telemetry collection had outages: the MTBF is then
+    normalized by *observed* time (gap-bias corrected), and figures
+    computed under thin coverage carry the low-confidence flag.
+    """
 
     etype: ErrorType
     counts: np.ndarray
     total: int
     mtbf_hours: float | None = None
     burstiness: BurstinessMetrics | None = None
+    coverage_fraction: float = 1.0
+    low_coverage: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,11 +117,35 @@ class Fig20Result:
 
 
 class TitanStudy:
-    """The full analysis pipeline over one simulated dataset."""
+    """The full analysis pipeline over one simulated dataset.
 
-    def __init__(self, dataset: SimulationDataset) -> None:
+    ``coverage`` (optional) declares which time spans the console
+    telemetry actually observed; when given, rate statistics are
+    normalized by observed time and annotated with a low-coverage
+    confidence flag below :data:`LOW_COVERAGE_THRESHOLD`.
+    """
+
+    def __init__(
+        self,
+        dataset: SimulationDataset,
+        *,
+        coverage: ObservedWindows | None = None,
+    ) -> None:
         self.ds = dataset
+        self.coverage = coverage
         self._log: EventLog | None = None
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Observed fraction of the study window (1.0 without a model)."""
+        return 1.0 if self.coverage is None else self.coverage.coverage_fraction
+
+    @property
+    def low_coverage(self) -> bool:
+        return (
+            self.coverage is not None
+            and self.coverage.is_low(LOW_COVERAGE_THRESHOLD)
+        )
 
     # -- shared inputs ---------------------------------------------------------
 
@@ -140,17 +173,32 @@ class TitanStudy:
     # -- hardware figures --------------------------------------------------------
 
     def fig2(self) -> MonthlyFigure:
-        """Monthly DBE frequency and fleet MTBF (Observation 1)."""
+        """Monthly DBE frequency and fleet MTBF (Observation 1).
+
+        With a coverage model attached, the MTBF is gap-bias corrected
+        (normalized by observed rather than nominal time).
+        """
         start, end = self.window
         dbe = self.log.of_type(ErrorType.DBE)
+        if self.coverage is not None and len(dbe):
+            in_coverage = dbe.select(self.coverage.contains(dbe.time))
+            mtbf = (
+                mtbf_hours(dbe, coverage=self.coverage)
+                if len(in_coverage)
+                else None
+            )
+        elif len(dbe):
+            mtbf = mtbf_hours(dbe, span_s=end - start)
+        else:
+            mtbf = None
         return MonthlyFigure(
             etype=ErrorType.DBE,
             counts=monthly_counts(dbe),
             total=len(dbe),
-            mtbf_hours=(
-                mtbf_hours(dbe, span_s=end - start) if len(dbe) else None
-            ),
+            mtbf_hours=mtbf,
             burstiness=burstiness_metrics(dbe, start, end),
+            coverage_fraction=self.coverage_fraction,
+            low_coverage=self.low_coverage,
         )
 
     def _spatial(self, etype: ErrorType) -> SpatialFigure:
@@ -185,6 +233,8 @@ class TitanStudy:
             counts=monthly_counts(otb),
             total=len(otb),
             burstiness=burstiness_metrics(otb, start, end),
+            coverage_fraction=self.coverage_fraction,
+            low_coverage=self.low_coverage,
         )
 
     def fig5(self) -> SpatialFigure:
@@ -198,6 +248,8 @@ class TitanStudy:
             etype=ErrorType.ECC_PAGE_RETIREMENT,
             counts=monthly_counts(retirement),
             total=len(retirement),
+            coverage_fraction=self.coverage_fraction,
+            low_coverage=self.low_coverage,
         )
 
     def fig7(self) -> SpatialFigure:
@@ -229,6 +281,8 @@ class TitanStudy:
             burstiness=(
                 burstiness_metrics(events, start, end) if len(events) else None
             ),
+            coverage_fraction=self.coverage_fraction,
+            low_coverage=self.low_coverage,
         )
 
     def fig9(self) -> dict[int, MonthlyFigure]:
@@ -251,6 +305,8 @@ class TitanStudy:
             counts=monthly_counts(filtered),
             total=len(filtered),
             burstiness=burstiness_metrics(filtered, start, end),
+            coverage_fraction=self.coverage_fraction,
+            low_coverage=self.low_coverage,
         )
 
     def fig11(self) -> dict[int, MonthlyFigure]:

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.errors.event import EventLog
 from repro.errors.xid import ErrorType
+from repro.telemetry.coverage import ObservedWindows
 from repro.units import HOUR, month_starts
 
 __all__ = [
@@ -35,14 +36,28 @@ def monthly_counts(log: EventLog, etype: ErrorType | None = None) -> np.ndarray:
     return counts.astype(np.int64)
 
 
-def mtbf_hours(log: EventLog, span_s: float | None = None) -> float:
+def mtbf_hours(
+    log: EventLog,
+    span_s: float | None = None,
+    *,
+    coverage: ObservedWindows | None = None,
+) -> float:
     """Mean time between events, in hours.
 
     ``span_s`` is the observation span; by default the event extent is
     used, which understates spans with quiet edges — the study figures
     pass the full window explicitly.  Raises on an empty log (MTBF of
     nothing is meaningless, not infinite).
+
+    ``coverage`` corrects gap bias: when telemetry collection had
+    outages, events are restricted to observed time and the rate is
+    normalized by *observed* seconds rather than the nominal span
+    (which would overstate MTBF — events during outages are missing,
+    not absent).  ``coverage`` overrides ``span_s``.
     """
+    if coverage is not None:
+        log = log.select(coverage.contains(log.time))
+        span_s = coverage.observed_seconds
     n = len(log)
     if n == 0:
         raise ValueError("cannot compute MTBF of an empty log")

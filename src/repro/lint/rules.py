@@ -142,7 +142,7 @@ _WALL_CLOCK_CALLS: frozenset[str] = frozenset(
 
 #: Directories whose contents must be a pure function of (scenario, seed).
 _DETERMINISTIC_DIRS: frozenset[str] = frozenset(
-    {"sim", "faults", "workload", "telemetry"}
+    {"sim", "faults", "workload", "telemetry", "chaos"}
 )
 
 

@@ -1,21 +1,31 @@
-"""Process-pool map primitives.
+"""Process-pool map primitives with crash resilience.
 
-Thin, dependency-free wrappers over :mod:`multiprocessing` with the
+Thin, dependency-free wrappers over :mod:`concurrent.futures` with the
 discipline HPC codes need:
 
 * work functions must be **module-level picklable callables** (enforced
-  early with a clear error instead of a deep pickle traceback);
+  early with a clear error instead of a deep pickle traceback) — and so
+  must reducers, which graduate to remote execution in tree reductions;
 * ``n_workers <= 1`` degrades to serial execution in-process, so tests
   and small runs pay no fork cost and tracebacks stay readable;
+* work is dispatched in **chunks** that are individually retried: a
+  worker crash (OOM kill, segfault — the exact failure mode a
+  fleet-scale replica sweep hits) fails only its chunk, which is
+  resubmitted to a fresh pool with exponential backoff; after
+  ``max_retries`` attempts the surviving chunks fall back to serial
+  in-process execution, so a deterministic error in the work function
+  still surfaces with a clean traceback;
 * results preserve input order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import concurrent.futures as cf
 import multiprocessing as mp
 import pickle
-from collections.abc import Callable, Iterable, Sequence
-from typing import Any, TypeVar
+import time
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -23,15 +33,24 @@ R = TypeVar("R")
 __all__ = ["parallel_map", "map_reduce"]
 
 
-def _check_picklable(fn: Callable) -> None:
+def _check_picklable(fn: Callable, role: str = "work function") -> None:
     try:
         pickle.dumps(fn)
-    except Exception as exc:  # pragma: no cover - message path
+    except Exception as exc:
         raise ValueError(
-            f"work function {fn!r} is not picklable; use a module-level "
+            f"{role} {fn!r} is not picklable; use a module-level "
             "function (lambdas and closures cannot cross process "
             "boundaries)"
         ) from exc
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Worker-side: apply ``fn`` to one chunk of items."""
+    return [fn(item) for item in chunk]
+
+
+def _chunked(items: list, chunk_len: int) -> list[list]:
+    return [items[i:i + chunk_len] for i in range(0, len(items), chunk_len)]
 
 
 def parallel_map(
@@ -40,20 +59,59 @@ def parallel_map(
     *,
     n_workers: int = 1,
     chunksize: int = 1,
+    max_retries: int = 2,
+    backoff_s: float = 0.0,
 ) -> list[R]:
     """Apply ``fn`` to every item, optionally across processes.
 
-    Results are returned in input order. ``n_workers <= 1`` runs
-    serially in-process.
+    Results are returned in input order.  ``n_workers <= 1`` runs
+    serially in-process.  Failed chunks (worker crash *or* an exception
+    from ``fn``) are resubmitted to a fresh pool up to ``max_retries``
+    times, sleeping ``backoff_s * 2**attempt`` between rounds; chunks
+    still failing then run serially in-process — transient failures
+    heal, deterministic ones surface with a readable traceback.
     """
     items = list(items)
     if n_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     _check_picklable(fn)
     n_workers = min(n_workers, len(items))
+    chunks = _chunked(items, max(1, int(chunksize)))
     ctx = mp.get_context("spawn")  # fork-safety with numpy/BLAS threads
-    with ctx.Pool(processes=n_workers) as pool:
-        return pool.map(fn, items, chunksize=max(1, chunksize))
+
+    results: dict[int, list[R]] = {}
+    pending = list(range(len(chunks)))
+    for attempt in range(max_retries + 1):
+        if not pending:
+            break
+        if attempt > 0 and backoff_s > 0.0:
+            time.sleep(backoff_s * 2 ** (attempt - 1))
+        failed: list[int] = []
+        try:
+            with cf.ProcessPoolExecutor(
+                max_workers=min(n_workers, len(pending)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    pool.submit(_run_chunk, fn, chunks[i]): i for i in pending
+                }
+                for future, i in futures.items():
+                    try:
+                        results[i] = future.result()
+                    except Exception:
+                        # fn raised, or the worker died and the pool is
+                        # broken: either way this chunk gets another shot
+                        # in a fresh pool (or serially, at the end).
+                        failed.append(i)
+        except Exception:
+            # Pool setup/teardown itself failed; everything unfinished
+            # is retried.
+            failed = [i for i in pending if i not in results]
+        pending = sorted(failed)
+
+    # Serial fallback: last resort for chunks that never succeeded.
+    for i in pending:
+        results[i] = _run_chunk(fn, chunks[i])
+    return [value for i in range(len(chunks)) for value in results[i]]
 
 
 def map_reduce(
@@ -62,12 +120,26 @@ def map_reduce(
     reduce_fn: Callable[[R, R], R],
     *,
     n_workers: int = 1,
+    max_retries: int = 2,
+    backoff_s: float = 0.0,
 ) -> R:
     """Map then fold: ``reduce_fn(reduce_fn(r0, r1), r2) ...``.
 
     Raises on an empty input — there is no identity element to return.
+    The reducer is validated for picklability alongside the work
+    function: today it folds in-process, but a reducer that cannot
+    cross a process boundary is a latent bug for distributed folds and
+    fails fast here.
     """
-    results = parallel_map(fn, items, n_workers=n_workers)
+    if n_workers > 1 and len(items) > 1:
+        _check_picklable(reduce_fn, role="reduce function")
+    results = parallel_map(
+        fn,
+        items,
+        n_workers=n_workers,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+    )
     if not results:
         raise ValueError("map_reduce over an empty input")
     acc = results[0]

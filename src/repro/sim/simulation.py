@@ -96,6 +96,27 @@ class SimulationDataset:
             self._parsed = (log.sorted_by_time(), stats)
         return self._parsed
 
+    def with_console_text(
+        self,
+        text: str,
+        parsed: Optional[tuple[EventLog, ParseStats]] = None,
+    ) -> "SimulationDataset":
+        """Dataset variant whose *observable* console stream is replaced.
+
+        This is the chaos-experiment hook: the simulation's ground
+        truth (injection, fleet, nvsmi ledgers) is shared, but the
+        analyses will see ``text`` — e.g. a corrupted rendering — as
+        the console log.  ``parsed`` pre-seeds the parse cache when the
+        caller already parsed the text (it must be the time-sorted log
+        for ``text``); otherwise the default lenient parser runs
+        lazily.
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self, _console_text=text, _parsed=parsed
+        )
+
     @property
     def nvsmi_table(self) -> dict[str, np.ndarray]:
         """Fleet-wide nvidia-smi snapshot at end of study."""

@@ -17,9 +17,22 @@ The paper's analyses never see the machine directly; they see
 from repro.telemetry.console import ConsoleLogWriter, render_event_line
 from repro.telemetry.sec import SEC_RULES, SecRule, classify_line
 from repro.telemetry.parser import ConsoleLogParser, ParseStats
+from repro.telemetry.ingestion import (
+    IngestionDegraded,
+    IngestionError,
+    QuarantineRecord,
+    QuarantineSink,
+)
+from repro.telemetry.coverage import (
+    LOW_COVERAGE_THRESHOLD,
+    ObservedWindows,
+    infer_outage_windows,
+)
 from repro.telemetry.nvsmi import NvidiaSmi, NvsmiRecord
 from repro.telemetry.nvsmi_text import (
+    NvsmiFleetStats,
     ParsedNvsmiQuery,
+    parse_nvsmi_fleet,
     parse_nvsmi_query,
     render_nvsmi_query,
 )
@@ -29,7 +42,13 @@ from repro.telemetry.raslog import (
     parse_ras_lines,
     render_ras_lines,
 )
-from repro.telemetry.jobsnap import JobSnapshotFramework, JobSnapshotRecord
+from repro.telemetry.jobsnap import (
+    JobSnapshotFramework,
+    JobSnapshotRecord,
+    JobsnapParseStats,
+    parse_jobsnap_records,
+    render_jobsnap_records,
+)
 
 __all__ = [
     "ConsoleLogWriter",
@@ -39,13 +58,25 @@ __all__ = [
     "classify_line",
     "ConsoleLogParser",
     "ParseStats",
+    "IngestionError",
+    "IngestionDegraded",
+    "QuarantineRecord",
+    "QuarantineSink",
+    "ObservedWindows",
+    "LOW_COVERAGE_THRESHOLD",
+    "infer_outage_windows",
     "NvidiaSmi",
     "NvsmiRecord",
     "ParsedNvsmiQuery",
+    "NvsmiFleetStats",
     "parse_nvsmi_query",
+    "parse_nvsmi_fleet",
     "render_nvsmi_query",
     "JobSnapshotFramework",
     "JobSnapshotRecord",
+    "JobsnapParseStats",
+    "render_jobsnap_records",
+    "parse_jobsnap_records",
     "NodeStateLog",
     "RepairModel",
     "parse_ras_lines",

@@ -27,7 +27,14 @@ import numpy as np
 
 from repro.workload.jobs import JobTrace
 
-__all__ = ["JobSnapshotRecord", "JobSnapshotFramework"]
+__all__ = [
+    "JobSnapshotRecord",
+    "JobSnapshotFramework",
+    "JobsnapParseStats",
+    "render_jobsnap_records",
+    "parse_jobsnap_records",
+    "JOBSNAP_HEADER",
+]
 
 
 @dataclass(frozen=True)
@@ -109,3 +116,105 @@ class JobSnapshotFramework:
             ),
             "sbe": np.asarray([r.sbe_delta for r in records], dtype=np.int64),
         }
+
+
+# --------------------------------------------------------------------------
+# On-disk text format (the collection pipeline's record stream)
+# --------------------------------------------------------------------------
+
+#: Column order of the tab-separated record stream.
+JOBSNAP_HEADER = (
+    "job\tuser\tn_nodes\tgpu_core_hours\tmax_memory_gb"
+    "\ttotal_memory\twalltime_h\tsbe_delta"
+)
+
+#: Field values past this are torn digits, not accounting data.
+_MAX_INT_FIELD = 2**62
+
+
+def render_jobsnap_records(records: list[JobSnapshotRecord]) -> str:
+    """Render snapshot records as the tab-separated collection stream."""
+    lines = [JOBSNAP_HEADER]
+    for r in records:
+        lines.append(
+            f"{r.job}\t{r.user}\t{r.n_nodes}\t{r.gpu_core_hours:.6f}"
+            f"\t{r.max_memory_gb:.6f}\t{r.total_memory:.6f}"
+            f"\t{r.walltime_h:.6f}\t{r.sbe_delta}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class JobsnapParseStats:
+    """Damage accounting for a snapshot record stream."""
+
+    total_rows: int = 0
+    parsed_rows: int = 0
+    malformed_rows: int = 0
+
+    @property
+    def corrupt_fraction(self) -> float:
+        if self.total_rows == 0:
+            return 0.0
+        return self.malformed_rows / self.total_rows
+
+
+def parse_jobsnap_records(
+    text: str, *, strict: bool = False
+) -> tuple[list[JobSnapshotRecord], JobsnapParseStats]:
+    """Parse a record stream back; damaged rows are counted, not fatal.
+
+    Header lines (including duplicates from spliced streams) are
+    skipped.  ``strict=True`` raises ``ValueError`` on the first
+    malformed row instead of counting it.
+    """
+    records: list[JobSnapshotRecord] = []
+    stats = JobsnapParseStats()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip() or line == JOBSNAP_HEADER:
+            continue
+        stats.total_rows += 1
+        fields = line.split("\t")
+        record = _decode_row(fields)
+        if record is None:
+            stats.malformed_rows += 1
+            if strict:
+                raise ValueError(
+                    f"malformed jobsnap row at line {line_no}: {line!r}"
+                )
+            continue
+        records.append(record)
+        stats.parsed_rows += 1
+    return records, stats
+
+
+def _decode_row(fields: list[str]) -> JobSnapshotRecord | None:
+    """Decode one tab-split row; None if the row is damaged."""
+    if len(fields) != 8:
+        return None
+    try:
+        job, user, n_nodes = int(fields[0]), int(fields[1]), int(fields[2])
+        gpu_core_hours = float(fields[3])
+        max_memory_gb = float(fields[4])
+        total_memory = float(fields[5])
+        walltime_h = float(fields[6])
+        sbe_delta = int(fields[7])
+    except ValueError:
+        return None
+    ints = (job, user, n_nodes, sbe_delta)
+    if any(abs(v) >= _MAX_INT_FIELD for v in ints):
+        return None
+    floats = (gpu_core_hours, max_memory_gb, total_memory, walltime_h)
+    if any(not np.isfinite(v) for v in floats):
+        return None
+    return JobSnapshotRecord(
+        job=job,
+        user=user,
+        n_nodes=n_nodes,
+        gpu_core_hours=gpu_core_hours,
+        max_memory_gb=max_memory_gb,
+        total_memory=total_memory,
+        walltime_h=walltime_h,
+        sbe_delta=sbe_delta,
+    )

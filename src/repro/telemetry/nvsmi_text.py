@@ -19,7 +19,13 @@ from dataclasses import dataclass
 
 from repro.telemetry.nvsmi import NvsmiRecord
 
-__all__ = ["render_nvsmi_query", "parse_nvsmi_query", "ParsedNvsmiQuery"]
+__all__ = [
+    "render_nvsmi_query",
+    "parse_nvsmi_query",
+    "parse_nvsmi_fleet",
+    "ParsedNvsmiQuery",
+    "NvsmiFleetStats",
+]
 
 #: nvidia-smi field labels per structure key used in our snapshots.
 _STRUCTURE_LABELS: tuple[tuple[str, str], ...] = (
@@ -86,16 +92,37 @@ _COUNTER_RE = re.compile(r"^\s+([A-Za-z][A-Za-z0-9 ]*?)\s*:\s*(\d+)\s*$")
 _RETIRED_RE = re.compile(r"Retired Page Count\s*:\s*(\d+)")
 
 
-def parse_nvsmi_query(text: str) -> ParsedNvsmiQuery:
+#: Counter values past this are torn digits, not telemetry.
+_MAX_COUNTER = 2**62
+
+
+def parse_nvsmi_query(
+    text: str, *, strict: bool = True
+) -> ParsedNvsmiQuery | None:
     """Parse a report produced by :func:`render_nvsmi_query`.
 
-    Raises ``ValueError`` when mandatory fields are missing.
+    In strict mode (default) raises ``ValueError`` when mandatory
+    fields are missing; with ``strict=False`` a damaged report returns
+    ``None`` instead and garbled counter lines are skipped — collection
+    pipelines count the loss rather than crash on it (see
+    :func:`parse_nvsmi_fleet`).
     """
     serial_m = _SERIAL_RE.search(text)
     temp_m = _TEMP_RE.search(text)
     retired_m = _RETIRED_RE.search(text)
     if serial_m is None or temp_m is None or retired_m is None:
+        if not strict:
+            return None
         raise ValueError("not a recognizable nvidia-smi -q report")
+
+    try:
+        temperature = float(temp_m.group(1))
+    except ValueError:
+        # "[\d.]+" admits garbled digit runs like "7..5"; in lenient
+        # mode that is damage, not a crash.
+        if not strict:
+            return None
+        raise
 
     sbe: dict[str, int] = {}
     dbe: dict[str, int] = {}
@@ -116,6 +143,8 @@ def parse_nvsmi_query(text: str) -> ParsedNvsmiQuery:
             section = None  # left the counter block
             continue
         label, value = match.group(1).strip(), int(match.group(2))
+        if value >= _MAX_COUNTER:
+            continue  # torn digits, not a counter
         if label == "Total":
             if section is sbe:
                 sbe_total = value
@@ -128,10 +157,66 @@ def parse_nvsmi_query(text: str) -> ParsedNvsmiQuery:
             section[key] = value
     return ParsedNvsmiQuery(
         serial=int(serial_m.group(1)),
-        temperature_c=float(temp_m.group(1)),
+        temperature_c=temperature,
         sbe_by_structure=sbe,
         dbe_by_structure=dbe,
         sbe_total=sbe_total,
         dbe_total=dbe_total,
         retired_pages=int(retired_m.group(1)),
+    )
+
+
+# --------------------------------------------------------------------------
+# Fleet-stream parsing (many concatenated reports, damage counted)
+# --------------------------------------------------------------------------
+
+_REPORT_HEADER_RE = re.compile(r"^GPU [0-9A-Fa-f]{4}:")
+
+
+@dataclass(frozen=True)
+class NvsmiFleetStats:
+    """Damage accounting for a concatenated fleet collection stream."""
+
+    total_reports: int
+    parsed_reports: int
+    rejected_reports: int
+
+    @property
+    def corrupt_fraction(self) -> float:
+        if self.total_reports == 0:
+            return 0.0
+        return self.rejected_reports / self.total_reports
+
+
+def parse_nvsmi_fleet(
+    text: str,
+) -> tuple[list[ParsedNvsmiQuery], NvsmiFleetStats]:
+    """Parse a concatenation of per-card reports, counting damage.
+
+    The fleet collection pipeline (Section 2.2 ran one query per node)
+    concatenates :func:`render_nvsmi_query` outputs; reports whose
+    mandatory fields were destroyed are *counted* as rejected, never
+    fatal.  Text before the first header (e.g. a torn leading report)
+    is ignored.
+    """
+    reports: list[list[str]] = []
+    current: list[str] | None = None
+    for line in text.splitlines():
+        if _REPORT_HEADER_RE.match(line):
+            current = [line]
+            reports.append(current)
+        elif current is not None:
+            current.append(line)
+    parsed: list[ParsedNvsmiQuery] = []
+    rejected = 0
+    for chunk in reports:
+        record = parse_nvsmi_query("\n".join(chunk), strict=False)
+        if record is None:
+            rejected += 1
+        else:
+            parsed.append(record)
+    return parsed, NvsmiFleetStats(
+        total_reports=len(reports),
+        parsed_reports=len(parsed),
+        rejected_reports=rejected,
     )

@@ -10,113 +10,299 @@ paper's authors.
 
 Malformed or unclassifiable lines are counted, not fatal: a two-year
 console stream always contains noise, and the parse statistics are how
-operators notice new XIDs (Observation 5).
+operators notice new XIDs (Observation 5).  The parser is additionally
+hardened against *hostile* input (see :mod:`repro.chaos`):
+
+* **resync-on-garbage** — torn writes that splice two lines together
+  (garbage prefix + a valid record) are recovered by re-synchronizing
+  on the next embedded ``timestamp cname`` anchor;
+* **strict mode** — raise :class:`~repro.telemetry.ingestion.IngestionError`
+  on the first rejected line instead of counting;
+* **error budget** — when the corrupt-line fraction exceeds the budget,
+  raise :class:`~repro.telemetry.ingestion.IngestionDegraded` carrying
+  the partial log and statistics;
+* **quarantine** — rejected lines can be diverted to a
+  :class:`~repro.telemetry.ingestion.QuarantineSink` for forensics.
+
+Every input line lands in exactly one primary counter
+(``parsed_events``, ``non_gpu_lines``, ``malformed_lines`` or
+``unknown_xid_lines``); :attr:`ParseStats.accounted` makes the
+invariant checkable and the property tests enforce it under fuzz.
 """
 
 from __future__ import annotations
 
+import datetime as _dt
 import re
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors.event import EventLog, EventLogBuilder, STRUCTURE_CODES
+from repro.errors.xid import ErrorType
 from repro.gpu.k20x import MemoryStructure
+from repro.telemetry.ingestion import (
+    IngestionDegraded,
+    IngestionError,
+    QuarantineSink,
+)
 from repro.telemetry.sec import SEC_RULES, SecRule, UnmatchedLine, classify_line
 from repro.topology.machine import TitanMachine
 from repro.units import datetime_to_timestamp
 
 __all__ = ["ConsoleLogParser", "ParseStats"]
 
+_STAMP_PATTERN = r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6}"
+_CNAME_PATTERN = r"c\d+-\d+c\d+s\d+n\d+"
+
 _LINE_RE = re.compile(
-    r"^(?P<stamp>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6})\s+"
-    r"(?P<cname>c\d+-\d+c\d+s\d+n\d+)\s+"
+    rf"^(?P<stamp>{_STAMP_PATTERN})\s+"
+    rf"(?P<cname>{_CNAME_PATTERN})\s+"
     r"(?P<body>.*)$"
 )
+#: Anchor for resync-on-garbage: a stamp+cname pair embedded mid-line,
+#: the signature of a torn write that spliced two records together.
+_RESYNC_RE = re.compile(rf"{_STAMP_PATTERN}\s+{_CNAME_PATTERN}\s+")
 _STRUCT_RE = re.compile(r" in (?P<structure>[a-z0-9_]+)(?: page 0x(?P<page>[0-9a-f]+))?")
 _JOB_RE = re.compile(r"\[job=(?P<job>\d+)\]")
 
 _STRUCT_BY_NAME = {s.value: s for s in MemoryStructure}
 
+#: Largest integer the columnar int64 store accepts; anything bigger in
+#: a page/job field is corruption, not data.
+_MAX_INT_FIELD = 2**62
+
 
 @dataclass
 class ParseStats:
-    """Counters the parser accumulates over a log stream."""
+    """Counters the parser accumulates over a log stream.
+
+    The four primary counters (``parsed_events``, ``non_gpu_lines``,
+    ``malformed_lines``, ``unknown_xid_lines``) partition the input:
+    their sum always equals ``total_lines``.  ``resynced_lines`` and
+    ``quarantined_lines`` are diagnostic sub-counters (a resynced line
+    is *also* counted in ``parsed_events``).
+    """
 
     total_lines: int = 0
     parsed_events: int = 0
     non_gpu_lines: int = 0
     malformed_lines: int = 0
     unknown_xid_lines: int = 0
+    resynced_lines: int = 0
+    quarantined_lines: int = 0
     unknown_xids_seen: set[str] = field(default_factory=set)
+
+    @property
+    def accounted(self) -> int:
+        """Sum of the primary counters; always equals ``total_lines``."""
+        return (
+            self.parsed_events
+            + self.non_gpu_lines
+            + self.malformed_lines
+            + self.unknown_xid_lines
+        )
+
+    @property
+    def corrupt_fraction(self) -> float:
+        """Fraction of lines rejected as damage (malformed + unknown)."""
+        if self.total_lines == 0:
+            return 0.0
+        return (self.malformed_lines + self.unknown_xid_lines) / self.total_lines
 
 
 class ConsoleLogParser:
-    """Parses console-log text back into an :class:`EventLog`."""
+    """Parses console-log text back into an :class:`EventLog`.
+
+    Parameters
+    ----------
+    machine:
+        Topology used to decode cnames into GPU slots.
+    rules:
+        SEC classification rules (defaults to the paper's catalog).
+    strict:
+        Raise :class:`IngestionError` on the first rejected line
+        instead of counting it.  Non-GPU noise is still tolerated —
+        real consoles are full of Lustre chatter.
+    resync:
+        Recover spliced lines by re-synchronizing on an embedded
+        ``timestamp cname`` anchor (default on; torn writes are the
+        most common SMW artifact).
+    error_budget:
+        Maximum tolerated corrupt-line fraction; ``None`` disables the
+        budget.  Exceeding it raises :class:`IngestionDegraded` *after*
+        the full stream is parsed, carrying the partial log.
+    quarantine:
+        Optional sink receiving every rejected line.
+    """
 
     def __init__(
         self,
         machine: TitanMachine,
         rules: tuple[SecRule, ...] = SEC_RULES,
+        *,
+        strict: bool = False,
+        resync: bool = True,
+        error_budget: float | None = None,
+        quarantine: QuarantineSink | None = None,
     ) -> None:
         self.machine = machine
         self.rules = rules
+        self.strict = bool(strict)
+        self.resync = bool(resync)
+        if error_budget is not None and not 0.0 <= error_budget <= 1.0:
+            raise ValueError("error_budget must be in [0, 1] or None")
+        self.error_budget = error_budget
+        self.quarantine = quarantine
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _reject(
+        self, stats: ParseStats, category: str, line_no: int, line: str
+    ) -> None:
+        if category == "malformed":
+            stats.malformed_lines += 1
+        else:
+            stats.unknown_xid_lines += 1
+        if self.quarantine is not None:
+            self.quarantine.add(line_no, category, line)
+            stats.quarantined_lines += 1
+        if self.strict:
+            raise IngestionError(category, line_no, line)
+
+    # -- parsing -----------------------------------------------------------
 
     def parse_lines(self, lines: Iterable[str]) -> tuple[EventLog, ParseStats]:
         """Parse an iterable of log lines.
 
         Returns the (unsorted — log-order) event log and statistics.
+        Raises :class:`IngestionError` (strict mode) or
+        :class:`IngestionDegraded` (error budget exceeded).
         """
-        import datetime as dt
-
         builder = EventLogBuilder()
         stats = ParseStats()
-        for raw in lines:
+        for line_no, raw in enumerate(lines, start=1):
             line = raw.rstrip("\n")
             if not line.strip():
                 continue
             stats.total_lines += 1
-            match = _LINE_RE.match(line)
-            if match is None:
-                stats.malformed_lines += 1
-                continue
-            try:
-                etype = classify_line(match["body"], self.rules)
-            except UnmatchedLine:
-                stats.unknown_xid_lines += 1
-                xid_match = re.search(r"GPU XID (\d+)", match["body"])
-                if xid_match:
-                    stats.unknown_xids_seen.add(xid_match.group(1))
-                continue
-            if etype is None:
-                stats.non_gpu_lines += 1
-                continue
-            try:
-                when = dt.datetime.strptime(
-                    match["stamp"], "%Y-%m-%dT%H:%M:%S.%f"
-                )
-                gpu = self.machine.gpu_from_cname(match["cname"])
-            except ValueError:
-                stats.malformed_lines += 1
-                continue
-            structure = None
-            page = -1
-            struct_match = _STRUCT_RE.search(match["body"])
-            if struct_match:
-                structure = _STRUCT_BY_NAME.get(struct_match["structure"])
-                if struct_match["page"] is not None:
-                    page = int(struct_match["page"], 16)
-            job_match = _JOB_RE.search(match["body"])
-            job = int(job_match["job"]) if job_match else -1
-            builder.add(
-                datetime_to_timestamp(when),
-                gpu,
-                etype,
-                structure=structure,
-                job=job,
-                aux=page,
+            self._parse_one(builder, stats, line_no, line)
+        log = builder.freeze()
+        if (
+            self.error_budget is not None
+            and stats.corrupt_fraction > self.error_budget
+        ):
+            raise IngestionDegraded(
+                stats=stats,
+                budget=self.error_budget,
+                fraction=stats.corrupt_fraction,
+                log=log,
             )
+        return log, stats
+
+    def _parse_one(
+        self,
+        builder: EventLogBuilder,
+        stats: ParseStats,
+        line_no: int,
+        line: str,
+    ) -> None:
+        """Classify one line into exactly one primary counter."""
+        match = _LINE_RE.match(line)
+        if match is None:
+            if self._try_resync(builder, stats, line, skip=1):
+                return
+            self._reject(stats, "malformed", line_no, line)
+            return
+        try:
+            etype = classify_line(match["body"], self.rules)
+        except UnmatchedLine:
+            # A spliced body can hide a valid record further in; prefer
+            # recovery over rejection.
+            if self._try_resync(builder, stats, line, skip=1):
+                return
+            xid_match = re.search(r"GPU XID (\d+)", match["body"])
+            if xid_match:
+                stats.unknown_xids_seen.add(xid_match.group(1))
+            self._reject(stats, "unknown_xid", line_no, line)
+            return
+        if etype is None:
+            stats.non_gpu_lines += 1
+            return
+        if self._emit(builder, stats, match, etype):
             stats.parsed_events += 1
-        return builder.freeze(), stats
+        else:
+            self._reject(stats, "malformed", line_no, line)
+
+    def _emit(
+        self,
+        builder: EventLogBuilder,
+        stats: ParseStats,
+        match: re.Match[str],
+        etype: ErrorType,
+    ) -> bool:
+        """Decode one matched line into the builder; False on damage."""
+        try:
+            when = _dt.datetime.strptime(match["stamp"], "%Y-%m-%dT%H:%M:%S.%f")
+            gpu = self.machine.gpu_from_cname(match["cname"])
+        except ValueError:
+            return False
+        structure = None
+        page = -1
+        struct_match = _STRUCT_RE.search(match["body"])
+        if struct_match:
+            structure = _STRUCT_BY_NAME.get(struct_match["structure"])
+            if struct_match["page"] is not None:
+                page = int(struct_match["page"], 16)
+        job_match = _JOB_RE.search(match["body"])
+        job = int(job_match["job"]) if job_match else -1
+        if page >= _MAX_INT_FIELD or job >= _MAX_INT_FIELD:
+            # Numerals that overflow the columnar int64 store are
+            # corruption, not telemetry.
+            return False
+        builder.add(
+            datetime_to_timestamp(when),
+            gpu,
+            etype,
+            structure=structure,
+            job=job,
+            aux=page,
+        )
+        return True
+
+    def _try_resync(
+        self,
+        builder: EventLogBuilder,
+        stats: ParseStats,
+        line: str,
+        *,
+        skip: int,
+    ) -> bool:
+        """Attempt to recover a record embedded after garbage.
+
+        Searches for the next ``timestamp cname`` anchor at or after
+        position ``skip``; if the tail from there parses cleanly as a
+        GPU event it is counted as parsed + resynced.  Returns True on
+        success; on failure the caller rejects the whole line normally.
+        """
+        if not self.resync:
+            return False
+        pos = skip
+        while True:
+            anchor = _RESYNC_RE.search(line, pos)
+            if anchor is None:
+                return False
+            tail = line[anchor.start():]
+            match = _LINE_RE.match(tail)
+            if match is not None:
+                try:
+                    etype = classify_line(match["body"], self.rules)
+                except UnmatchedLine:
+                    etype = None
+                if etype is not None and self._emit(builder, stats, match, etype):
+                    stats.parsed_events += 1
+                    stats.resynced_lines += 1
+                    return True
+            pos = anchor.start() + 1
 
     def parse_text(self, text: str) -> tuple[EventLog, ParseStats]:
         return self.parse_lines(text.splitlines())

@@ -9,8 +9,9 @@ Two datasets are exercised by the suite:
 Two autouse guards provide the *runtime* complement to the static
 RL001/RL002 lint rules (see :mod:`repro.lint`): any test whose code
 path reads the wall clock from inside ``repro.sim`` / ``repro.faults``
-/ ``repro.workload`` / ``repro.telemetry``, or that causes one of
-those modules to import the stdlib ``random`` module, fails.
+/ ``repro.workload`` / ``repro.telemetry`` / ``repro.chaos``, or that
+causes one of those modules to import the stdlib ``random`` module,
+fails.
 """
 
 import sys
@@ -27,6 +28,7 @@ _DETERMINISTIC_PREFIXES = (
     "repro.faults",
     "repro.workload",
     "repro.telemetry",
+    "repro.chaos",
 )
 
 _DETERMINISTIC_PATH_PARTS = tuple(

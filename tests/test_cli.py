@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_corrupt_defaults(self, tmp_path):
+        args = build_parser().parse_args(["corrupt", str(tmp_path / "x.log")])
+        assert args.rate == 0.01
+        assert args.out is None
+        assert args.outages == 0
+
+    def test_degradation_defaults(self):
+        args = build_parser().parse_args(["degradation"])
+        assert args.fail_level is None
+        assert args.budget == 0.05
+
+    def test_simulate_chaos_rate_default_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.chaos_rate == 0.0
+
 
 class TestCommands:
     """Each command runs end-to-end on a small window."""
@@ -63,6 +78,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ledger anomalies" in out
         assert out.count("c") > 3  # cnames printed
+
+
+class TestChaosCommands:
+    """The corruption/degradation commands run end to end."""
+
+    def test_corrupt_is_deterministic(self, tmp_path, capsys):
+        log = tmp_path / "console.log"
+        rc = main(["simulate", "--days", "10", "--seed", "77",
+                   "--log-out", str(log)])
+        assert rc == 0
+        rc = main(["corrupt", str(log), "--rate", "0.05", "--seed", "5"])
+        assert rc == 0
+        first = (tmp_path / "console.log.corrupt").read_text()
+        again = tmp_path / "again.log"
+        rc = main(["corrupt", str(log), "--rate", "0.05", "--seed", "5",
+                   "--out", str(again)])
+        assert rc == 0
+        assert again.read_text() == first  # byte-identical replay
+        assert first != log.read_text()
+        out = capsys.readouterr().out
+        assert "corrupted" in out
+
+    def test_corrupt_missing_file(self, tmp_path, capsys):
+        rc = main(["corrupt", str(tmp_path / "nope.log")])
+        assert rc == 2
+
+    def test_simulate_chaos_rate(self, tmp_path, capsys):
+        log = tmp_path / "chaos.log"
+        rc = main(["simulate", "--days", "10", "--seed", "77",
+                   "--chaos-rate", "0.02", "--log-out", str(log)])
+        assert rc == 0
+        assert "chaos: corrupted" in capsys.readouterr().out
+        assert log.exists()
+
+    def test_degradation_sweep(self, capsys):
+        rc = main(["degradation", "--days", "20", "--seed", "77",
+                   "--levels", "0,0.01", "--fail-level", "0.01"])
+        out = capsys.readouterr().out
+        assert "scorecard stable" in out
+        assert "flips" in out
+        assert rc == 0
 
 
 class TestCalibrationCommand:

@@ -1,0 +1,270 @@
+"""Tests for hardened telemetry ingestion.
+
+Strict/lenient/budgeted parser regimes, resync-on-garbage recovery,
+quarantine, the nvsmi fleet-stream parser, the jobsnap record-stream
+round trip, and hypothesis fuzz over the console parser: it must never
+raise on arbitrary input, and the ParseStats primary counters must
+always partition the input lines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.ingestion import (
+    IngestionDegraded,
+    IngestionError,
+    QuarantineSink,
+)
+from repro.telemetry.jobsnap import (
+    JOBSNAP_HEADER,
+    parse_jobsnap_records,
+    render_jobsnap_records,
+)
+from repro.telemetry.nvsmi_text import (
+    parse_nvsmi_fleet,
+    parse_nvsmi_query,
+    render_nvsmi_query,
+)
+from repro.telemetry.parser import ConsoleLogParser
+
+
+@pytest.fixture(scope="module")
+def gpu_lines(smoke_dataset):
+    """Real rendered GPU-event lines from the smoke scenario."""
+    lines = [
+        line
+        for line in smoke_dataset.console_text.splitlines()[:5000]
+        if "GPU XID" in line
+    ]
+    assert len(lines) >= 20
+    return lines
+
+
+@pytest.fixture(scope="module")
+def parser(smoke_dataset):
+    return ConsoleLogParser(smoke_dataset.machine)
+
+
+class TestParserRegimes:
+    def test_clean_round_trip_accounts_all_lines(self, parser, smoke_dataset):
+        text = "\n".join(smoke_dataset.console_text.splitlines()[:2000])
+        log, stats = parser.parse_text(text)
+        assert stats.accounted == stats.total_lines
+        assert stats.malformed_lines == 0
+        assert stats.unknown_xid_lines == 0
+        assert stats.corrupt_fraction == 0.0
+        assert len(log) == stats.parsed_events
+
+    def test_lenient_counts_garbage(self, parser, gpu_lines):
+        lines = [gpu_lines[0], "### total garbage ###", gpu_lines[1]]
+        log, stats = parser.parse_lines(lines)
+        assert stats.total_lines == 3
+        assert stats.parsed_events == 2
+        assert stats.malformed_lines == 1
+        assert stats.accounted == stats.total_lines
+
+    def test_strict_raises_with_context(self, smoke_dataset):
+        strict = ConsoleLogParser(smoke_dataset.machine, strict=True)
+        with pytest.raises(IngestionError) as excinfo:
+            strict.parse_lines(["### total garbage ###"])
+        assert excinfo.value.category == "malformed"
+        assert excinfo.value.line_no == 1
+        assert "garbage" in excinfo.value.line
+
+    def test_resync_recovers_spliced_line(self, parser, gpu_lines):
+        spliced = "GARBAGE####" + gpu_lines[0]
+        log, stats = parser.parse_lines([spliced])
+        assert stats.parsed_events == 1
+        assert stats.resynced_lines == 1
+        assert stats.malformed_lines == 0
+        assert len(log) == 1
+
+    def test_resync_recovers_torn_plus_full(self, parser, gpu_lines):
+        spliced = gpu_lines[0][:30] + gpu_lines[1]
+        log, stats = parser.parse_lines([spliced])
+        assert stats.parsed_events == 1
+        assert stats.resynced_lines == 1
+
+    def test_resync_disabled_rejects(self, smoke_dataset, gpu_lines):
+        no_resync = ConsoleLogParser(smoke_dataset.machine, resync=False)
+        _, stats = no_resync.parse_lines(["GARBAGE####" + gpu_lines[0]])
+        assert stats.parsed_events == 0
+        assert stats.malformed_lines == 1
+
+    def test_error_budget_degrades_with_partial_log(
+        self, smoke_dataset, gpu_lines
+    ):
+        budgeted = ConsoleLogParser(smoke_dataset.machine, error_budget=0.2)
+        lines = gpu_lines[:5] + ["@@corrupt@@"] * 5
+        with pytest.raises(IngestionDegraded) as excinfo:
+            budgeted.parse_lines(lines)
+        exc = excinfo.value
+        assert exc.fraction == pytest.approx(0.5)
+        assert exc.budget == pytest.approx(0.2)
+        assert len(exc.log) == 5  # the partial log is still usable
+        assert exc.stats.accounted == exc.stats.total_lines == 10
+
+    def test_error_budget_not_exceeded_returns(self, smoke_dataset, gpu_lines):
+        budgeted = ConsoleLogParser(smoke_dataset.machine, error_budget=0.6)
+        log, stats = budgeted.parse_lines(gpu_lines[:5] + ["@@corrupt@@"] * 2)
+        assert len(log) == 5
+        assert stats.corrupt_fraction < 0.6
+
+    def test_invalid_budget_rejected(self, smoke_dataset):
+        with pytest.raises(ValueError):
+            ConsoleLogParser(smoke_dataset.machine, error_budget=1.5)
+
+    def test_quarantine_sink(self, smoke_dataset, gpu_lines):
+        sink = QuarantineSink(capacity=3)
+        quarantining = ConsoleLogParser(
+            smoke_dataset.machine, quarantine=sink
+        )
+        _, stats = quarantining.parse_lines(
+            [gpu_lines[0]] + [f"@@bad {i}@@" for i in range(5)]
+        )
+        assert sink.total == 5
+        assert len(sink.records) == 3  # capacity-bounded raw retention
+        assert sink.n_overflowed == 2
+        assert sink.summary() == {"malformed": 5}
+        assert sink.records[0].category == "malformed"
+        assert stats.quarantined_lines == 5
+
+    def test_overflowing_int_fields_rejected(self, parser, gpu_lines):
+        big = "9" * 25
+        line = gpu_lines[0] + f" [job={big}]"
+        _, stats = parser.parse_lines([line])
+        # Either resync re-reads a clean prefix or the line is rejected;
+        # it must never crash the columnar store.
+        assert stats.accounted == stats.total_lines == 1
+
+
+_LINE_TEXT = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\n\r"
+    ),
+    max_size=120,
+)
+_SEMI_VALID = st.builds(
+    lambda body: "2013-06-03T12:00:00.000000 c1-2c0s3n1 " + body,
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs",), blacklist_characters="\n\r"
+        ),
+        max_size=80,
+    ),
+)
+
+
+class TestParserFuzz:
+    """Property: the lenient parser is total over arbitrary text."""
+
+    @given(lines=st.lists(st.one_of(_LINE_TEXT, _SEMI_VALID), max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_never_raises_and_counters_partition(self, bare_machine, lines):
+        parser = ConsoleLogParser(bare_machine)
+        log, stats = parser.parse_lines(lines)
+        assert stats.accounted == stats.total_lines
+        assert len(log) == stats.parsed_events
+        assert stats.total_lines <= len(lines)  # blanks are skipped
+
+    @given(
+        prefix=_LINE_TEXT,
+        job=st.integers(min_value=0, max_value=10**30),
+        page=st.integers(min_value=0, max_value=10**30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_huge_numerals_never_crash(self, bare_machine, prefix, job, page):
+        parser = ConsoleLogParser(bare_machine)
+        line = (
+            "2013-06-03T12:00:00.000000 c1-2c0s3n1 GPU XID 48 double-bit "
+            f"ECC error in device_memory page 0x{page:x} [job={job}] {prefix}"
+        )
+        log, stats = parser.parse_lines([line])
+        assert stats.accounted == stats.total_lines == 1
+
+
+class TestNvsmiFleetStream:
+    @pytest.fixture(scope="class")
+    def reports(self, smoke_dataset):
+        records = [smoke_dataset.nvsmi.query(slot) for slot in range(4)]
+        return [
+            render_nvsmi_query(record, gpu_index=i)
+            for i, record in enumerate(records)
+        ]
+
+    def test_fleet_round_trip(self, reports):
+        parsed, stats = parse_nvsmi_fleet("".join(reports))
+        assert stats.total_reports == 4
+        assert stats.parsed_reports == 4
+        assert stats.rejected_reports == 0
+        assert stats.corrupt_fraction == 0.0
+
+    def test_damaged_report_counted_not_fatal(self, reports):
+        damaged = reports[1].replace("Serial Number", "Ser### Num###")
+        parsed, stats = parse_nvsmi_fleet(
+            reports[0] + damaged + reports[2]
+        )
+        assert stats.total_reports == 3
+        assert stats.parsed_reports == 2
+        assert stats.rejected_reports == 1
+
+    def test_lenient_garbled_temperature(self, reports):
+        garbled = reports[0].replace(
+            reports[0].split("GPU Current Temp")[1].split("\n")[0],
+            "                : 7..5 C",
+        )
+        assert parse_nvsmi_query(garbled, strict=False) is None
+        with pytest.raises(ValueError):
+            parse_nvsmi_query(garbled, strict=True)
+
+    def test_leading_torn_text_ignored(self, reports):
+        parsed, stats = parse_nvsmi_fleet("torn tail of a report\n" + reports[0])
+        assert stats.total_reports == 1
+        assert stats.parsed_reports == 1
+
+
+class TestJobsnapStream:
+    @pytest.fixture(scope="class")
+    def records(self, smoke_dataset):
+        records = smoke_dataset.jobsnap_records[:40]
+        assert records
+        return records
+
+    def test_round_trip(self, records):
+        text = render_jobsnap_records(records)
+        assert text.startswith(JOBSNAP_HEADER)
+        parsed, stats = parse_jobsnap_records(text)
+        assert stats.parsed_rows == len(records)
+        assert stats.malformed_rows == 0
+        assert [r.job for r in parsed] == [r.job for r in records]
+        assert parsed[0].gpu_core_hours == pytest.approx(
+            records[0].gpu_core_hours, abs=1e-6
+        )
+        assert [r.sbe_delta for r in parsed] == [
+            r.sbe_delta for r in records
+        ]
+
+    def test_damage_counted_not_fatal(self, records):
+        lines = render_jobsnap_records(records).splitlines()
+        lines[2] = "xx\tyy"  # wrong arity + non-numeric
+        lines[3] = lines[3].replace("\t", "\t" + "9" * 25, 1)  # torn digits
+        lines.append("1\t2\t3\tinf\t0\t0\t0\t0")  # non-finite float
+        parsed, stats = parse_jobsnap_records("\n".join(lines))
+        assert stats.malformed_rows == 3
+        assert stats.parsed_rows == len(records) - 2
+        assert stats.corrupt_fraction == pytest.approx(
+            3 / (len(records) + 1)
+        )
+
+    def test_strict_raises(self, records):
+        text = render_jobsnap_records(records) + "garbage row\n"
+        with pytest.raises(ValueError, match="malformed jobsnap row"):
+            parse_jobsnap_records(text, strict=True)
+
+    def test_duplicate_headers_skipped(self, records):
+        text = render_jobsnap_records(records)
+        spliced = text + JOBSNAP_HEADER + "\n" + text
+        parsed, stats = parse_jobsnap_records(spliced)
+        assert stats.parsed_rows == 2 * len(records)
+        assert stats.malformed_rows == 0

@@ -1,0 +1,104 @@
+"""Crash-resilience tests for :mod:`repro.parallel.pool`.
+
+Worker processes are killed or raise transient errors via sentinel
+files (shared through the filesystem, since workers are separate
+processes): the first attempt per item fails, every retry succeeds.
+Deterministic failures must survive the retries and surface with a
+clean traceback from the serial fallback.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import map_reduce, parallel_map
+
+
+def _double(x):
+    return 2 * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _flaky(item):
+    """Raise on the first call per sentinel, succeed afterwards."""
+    x, sentinel = item
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("transient failure")
+    return 2 * x
+
+
+def _crash_once(item):
+    """Die like an OOM-killed worker on the first call per sentinel."""
+    x, sentinel = item
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        os._exit(17)
+    return 2 * x
+
+
+def _always_bad(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestRetry:
+    def test_transient_exception_heals(self, tmp_path):
+        items = [(i, str(tmp_path / f"s{i}")) for i in range(3)]
+        out = parallel_map(_flaky, items, n_workers=2, max_retries=2)
+        assert out == [0, 2, 4]
+
+    def test_worker_crash_heals(self, tmp_path):
+        items = [(i, str(tmp_path / f"c{i}")) for i in range(2)]
+        out = parallel_map(_crash_once, items, n_workers=2, max_retries=2)
+        assert out == [0, 2]
+
+    def test_deterministic_error_surfaces(self):
+        """After retries, the serial fallback re-raises cleanly."""
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(_always_bad, [1, 2], n_workers=2, max_retries=1)
+
+    def test_serial_fallback_heals_late_transient(self, tmp_path):
+        # max_retries=0: the pool gets one shot, the serial fallback
+        # must still rescue the chunk.
+        items = [(i, str(tmp_path / f"f{i}")) for i in range(2)]
+        out = parallel_map(_flaky, items, n_workers=2, max_retries=0)
+        assert out == [0, 2]
+
+
+class TestMapSemantics:
+    def test_serial_path(self):
+        assert parallel_map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_order_preserved_with_chunks(self):
+        out = parallel_map(
+            _double, list(range(7)), n_workers=2, chunksize=3
+        )
+        assert out == [2 * i for i in range(7)]
+
+    def test_lambda_rejected_in_parallel(self):
+        with pytest.raises(ValueError, match="work function"):
+            parallel_map(lambda x: x, [1, 2], n_workers=2)
+
+    def test_empty_input(self):
+        assert parallel_map(_double, [], n_workers=4) == []
+
+
+class TestMapReduce:
+    def test_parallel_fold(self):
+        assert map_reduce(_double, [1, 2, 3, 4], _add, n_workers=2) == 20
+
+    def test_reducer_picklability_validated(self):
+        with pytest.raises(ValueError, match="reduce function"):
+            map_reduce(_double, [1, 2, 3], lambda a, b: a + b, n_workers=2)
+
+    def test_lambda_reducer_fine_serially(self):
+        assert map_reduce(_double, [1, 2, 3], lambda a, b: a + b) == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            map_reduce(_double, [], _add)
