@@ -1,0 +1,115 @@
+"""Measure cold vs warm end-to-end pipeline time → BENCH_pipeline.json.
+
+Runs ``python -m repro observations`` three ways against a throwaway
+artifact store:
+
+* **cold** — ``--no-cache``: simulate + render + parse + analyze;
+* **cold+persist** — first ``--cache-dir`` run: same work plus writing
+  every dataset layer into the store;
+* **warm** — second ``--cache-dir`` run: dataset layers and figures
+  come back from the store.
+
+It asserts the acceptance contract of the artifact cache (see
+docs/PERFORMANCE.md): the warm run must be at least ``--min-speedup``
+(default 3×) faster than the cold run **and** its analysis output must
+be line-identical to the cold run's (the cache may only ever buy time,
+never change an answer).  Exit code 0 iff both hold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_pipeline.py --days 45
+    PYTHONPATH=src python benchmarks/measure_pipeline.py --full
+
+Results land in ``BENCH_pipeline.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+
+
+def _timed(argv: list[str]) -> tuple[float, int, str]:
+    """(seconds, exit code, captured stdout) of one CLI invocation."""
+    buf = io.StringIO()
+    t0 = time.perf_counter()
+    with contextlib.redirect_stdout(buf):
+        rc = cli_main(argv)
+    return time.perf_counter() - t0, rc, buf.getvalue()
+
+
+def _analysis_lines(text: str) -> list[str]:
+    """Output lines minus the cache-status banner (path differs per run)."""
+    return [l for l in text.splitlines() if not l.startswith("cache:")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--full", action="store_true",
+                    help="use the full 21-month paper scenario")
+    ap.add_argument("--days", type=float, default=45.0,
+                    help="window for the quick scenario (ignored with --full)")
+    ap.add_argument("--seed", type=int, default=20131001)
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="required cold/warm ratio (exit 1 below this)")
+    ap.add_argument("--out", type=Path, default=ROOT / "BENCH_pipeline.json")
+    args = ap.parse_args(argv)
+
+    scenario = ["--full"] if args.full else ["--days", str(args.days)]
+    base = ["observations", *scenario, "--seed", str(args.seed)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        store = ["--cache-dir", str(Path(tmp) / "store")]
+        cold_s, cold_rc, cold_out = _timed([*base, "--no-cache"])
+        print(f"cold (no cache)      {cold_s:8.2f} s  rc={cold_rc}")
+        persist_s, persist_rc, persist_out = _timed([*base, *store])
+        print(f"cold + persist       {persist_s:8.2f} s  rc={persist_rc}")
+        warm_s, warm_rc, warm_out = _timed([*base, *store])
+        print(f"warm (store hit)     {warm_s:8.2f} s  rc={warm_rc}")
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    identical = (
+        _analysis_lines(cold_out)
+        == _analysis_lines(persist_out)
+        == _analysis_lines(warm_out)
+    ) and cold_rc == persist_rc == warm_rc
+    ok = identical and speedup >= args.min_speedup
+
+    doc = {
+        "command": "observations",
+        "scenario": {
+            "full": bool(args.full),
+            "days": None if args.full else args.days,
+            "seed": args.seed,
+        },
+        "timings_s": {
+            "cold_no_cache": round(cold_s, 3),
+            "cold_persist": round(persist_s, 3),
+            "warm": round(warm_s, 3),
+        },
+        "speedup_cold_over_warm": round(speedup, 2),
+        "min_speedup_required": args.min_speedup,
+        "outputs_identical": identical,
+        "pass": ok,
+        "regenerate_with": "PYTHONPATH=src python benchmarks/measure_pipeline.py"
+                           + (" --full" if args.full else f" --days {args.days}"),
+    }
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"speedup {speedup:.1f}x (need >= {args.min_speedup}x), "
+          f"outputs identical: {identical} -> {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,367 @@
+"""Content-addressed on-disk artifact store with corruption-safe loads.
+
+Layout::
+
+    <root>/objects/<key>.art
+
+where ``key`` is a slash-separated content address (dataset key /
+layer name, see :mod:`repro.cache.keys`).  Each ``.art`` file is a
+self-verifying container::
+
+    magic "RART1\\n" | 4-byte BE header length | header JSON | payload
+
+with the header carrying ``{"kind", "sha256", "nbytes"}`` for the
+payload.  The durability discipline:
+
+* **Atomic writes** — containers are staged to a same-directory temp
+  file, fsynced, then ``os.replace``d into place.  Readers see either
+  the old artifact or the new one, never a torn write; concurrent
+  writers of the same key are last-writer-wins with both versions
+  valid.
+* **Corruption-safe loads** — any mismatch (bad magic, short file,
+  checksum, undecodable payload) is treated as a *miss*: the entry is
+  dropped, ``stats.corrupt_dropped`` is incremented, and the caller
+  transparently recomputes.  A damaged cache can cost time, never
+  correctness.
+* **Eviction** — least-recently-modified artifacts are removed first
+  until the store fits a byte budget (`evict`); `clear` empties it.
+
+No wall-clock reads happen here (the package is registered in the
+determinism guards): recency comes from filesystem mtimes, and temp
+names from the pid plus a process-local counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.cache import serde
+from repro.cache.serde import SerdeError
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactInfo",
+    "StoreStats",
+    "StoreInfo",
+    "CorruptArtifact",
+]
+
+_MAGIC = b"RART1\n"
+_SUFFIX = ".art"
+_TMP_MARKER = ".tmp-"
+_HEADER_LEN_BYTES = 4
+#: Upper bound on a sane header, to reject garbage length prefixes.
+_MAX_HEADER_BYTES = 64 * 1024
+
+_tmp_counter = itertools.count()
+
+
+class CorruptArtifact(ValueError):
+    """An on-disk container failed validation (torn/garbled/truncated)."""
+
+
+def _sha256_hex(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _validate_key(key: str) -> str:
+    if not key or len(key) > 512:
+        raise ValueError(f"bad artifact key {key!r}")
+    for part in key.split("/"):
+        if not part or part.startswith("."):
+            raise ValueError(f"bad artifact key {key!r}")
+        if not all(c.isalnum() or c in "._-" for c in part):
+            raise ValueError(f"bad artifact key {key!r}")
+    return key
+
+
+@dataclass
+class StoreStats:
+    """Session counters (process-local, not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+    evicted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_dropped": self.corrupt_dropped,
+            "evicted": self.evicted,
+        }
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One stored artifact's identity and size."""
+
+    key: str
+    kind: str
+    nbytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Aggregate view for ``repro cache info``."""
+
+    root: str
+    n_artifacts: int
+    total_bytes: int
+    by_kind: dict[str, int] = field(default_factory=dict)
+    datasets: tuple[str, ...] = ()
+
+
+class ArtifactStore:
+    """A content-addressed artifact cache rooted at a directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self._objects / (_validate_key(key) + _SUFFIX)
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, key: str, obj: Any, kind: str) -> Path:
+        """Encode and atomically store one artifact; returns its path."""
+        return self.put_bytes(key, serde.encode(obj, kind), kind)
+
+    def put_bytes(self, key: str, payload: bytes, kind: str) -> Path:
+        """Atomically store pre-encoded payload bytes under ``key``."""
+        if kind not in serde.KINDS:
+            raise SerdeError(f"unknown artifact kind {kind!r}")
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {
+                "kind": kind,
+                "nbytes": len(payload),
+                "sha256": _sha256_hex(payload),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("ascii")
+        tmp = path.parent / (
+            path.name + f"{_TMP_MARKER}{os.getpid()}-{next(_tmp_counter)}"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_MAGIC)
+                fh.write(len(header).to_bytes(_HEADER_LEN_BYTES, "big"))
+                fh.write(header)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed; don't leak staging files
+                tmp.unlink(missing_ok=True)
+        self.stats.writes += 1
+        return path
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """Decoded artifact, or ``None`` on miss *or* corruption."""
+        raw = self.get_bytes(key)
+        if raw is None:
+            return None
+        payload, kind = raw
+        try:
+            return serde.decode(payload, kind)
+        except SerdeError:
+            # Checksummed container decoded but the payload codec choked
+            # (e.g. a stale kind after a code change): drop and recompute.
+            self._drop_corrupt(key)
+            return None
+
+    def get_bytes(self, key: str) -> tuple[bytes, str] | None:
+        """Validated ``(payload, kind)`` or ``None`` (miss/corrupt)."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload, kind = self._parse_container(blob)
+        except CorruptArtifact:
+            self._drop_corrupt(key)
+            return None
+        self.stats.hits += 1
+        return payload, kind
+
+    @staticmethod
+    def _parse_container(blob: bytes) -> tuple[bytes, str]:
+        base = len(_MAGIC) + _HEADER_LEN_BYTES
+        if len(blob) < base or not blob.startswith(_MAGIC):
+            raise CorruptArtifact("bad magic or truncated container")
+        header_len = int.from_bytes(blob[len(_MAGIC):base], "big")
+        if not 0 < header_len <= _MAX_HEADER_BYTES:
+            raise CorruptArtifact(f"implausible header length {header_len}")
+        if len(blob) < base + header_len:
+            raise CorruptArtifact("truncated header")
+        try:
+            header = json.loads(blob[base:base + header_len].decode("ascii"))
+            kind = header["kind"]
+            nbytes = int(header["nbytes"])
+            digest = header["sha256"]
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise CorruptArtifact(f"unreadable header: {exc}") from exc
+        payload = blob[base + header_len:]
+        if len(payload) != nbytes:
+            raise CorruptArtifact(
+                f"payload is {len(payload)} bytes, header claims {nbytes}"
+            )
+        if _sha256_hex(payload) != digest:
+            raise CorruptArtifact("payload checksum mismatch")
+        if not isinstance(kind, str) or kind not in serde.KINDS:
+            raise CorruptArtifact(f"unknown payload kind {kind!r}")
+        return payload, kind
+
+    def _drop_corrupt(self, key: str) -> None:
+        self.stats.corrupt_dropped += 1
+        self.stats.misses += 1
+        self._path(key).unlink(missing_ok=True)
+
+    # -- inventory -----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Cheap existence probe (full validation happens on ``get``)."""
+        return self._path(key).exists()
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> list[str]:
+        return [entry.key for entry in self.entries()]
+
+    def entries(self) -> list[ArtifactInfo]:
+        """All valid-looking artifacts, sorted by key."""
+        found: list[ArtifactInfo] = []
+        for path in sorted(self._objects.rglob(f"*{_SUFFIX}")):
+            if _TMP_MARKER in path.name:
+                continue
+            key = str(path.relative_to(self._objects))[: -len(_SUFFIX)]
+            key = key.replace(os.sep, "/")
+            try:
+                stat = path.stat()
+                with open(path, "rb") as fh:
+                    head = fh.read(len(_MAGIC) + _HEADER_LEN_BYTES + _MAX_HEADER_BYTES)
+                _, kind = self._parse_header_only(head)
+            except (OSError, CorruptArtifact):
+                continue
+            found.append(
+                ArtifactInfo(
+                    key=key,
+                    kind=kind,
+                    nbytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        return found
+
+    @staticmethod
+    def _parse_header_only(head: bytes) -> tuple[dict, str]:
+        base = len(_MAGIC) + _HEADER_LEN_BYTES
+        if len(head) < base or not head.startswith(_MAGIC):
+            raise CorruptArtifact("bad magic")
+        header_len = int.from_bytes(head[len(_MAGIC):base], "big")
+        if not 0 < header_len <= _MAX_HEADER_BYTES:
+            raise CorruptArtifact("implausible header length")
+        if len(head) < base + header_len:
+            raise CorruptArtifact("truncated header")
+        try:
+            header = json.loads(head[base:base + header_len].decode("ascii"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptArtifact("unreadable header") from exc
+        kind = header.get("kind")
+        if not isinstance(kind, str):
+            raise CorruptArtifact("header missing kind")
+        return header, kind
+
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self.entries())
+
+    def info(self) -> StoreInfo:
+        entries = self.entries()
+        by_kind: dict[str, int] = {}
+        datasets: set[str] = set()
+        for entry in entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + entry.nbytes
+            datasets.add(entry.key.split("/", 1)[0])
+        return StoreInfo(
+            root=str(self.root),
+            n_artifacts=len(entries),
+            total_bytes=sum(e.nbytes for e in entries),
+            by_kind=by_kind,
+            datasets=tuple(sorted(datasets)),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def evict(self, max_bytes: int) -> list[str]:
+        """Drop least-recently-modified artifacts until the store fits
+        ``max_bytes``; returns the evicted keys (oldest first)."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = sorted(self.entries(), key=lambda e: (e.mtime, e.key))
+        total = sum(e.nbytes for e in entries)
+        removed: list[str] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            if self.delete(entry.key):
+                total -= entry.nbytes
+                removed.append(entry.key)
+                self.stats.evicted += 1
+        self._prune_empty_dirs()
+        return removed
+
+    def clear(self) -> int:
+        """Remove every artifact (and stale temp files); returns count."""
+        removed = 0
+        for path in sorted(self._objects.rglob("*")):
+            if path.is_file():
+                stale_tmp = _TMP_MARKER in path.name
+                path.unlink(missing_ok=True)
+                if not stale_tmp:
+                    removed += 1
+        self._prune_empty_dirs()
+        return removed
+
+    def _prune_empty_dirs(self) -> None:
+        dirs = sorted(
+            (p for p in self._objects.rglob("*") if p.is_dir()),
+            key=lambda p: len(p.parts),
+            reverse=True,
+        )
+        for directory in dirs:
+            try:
+                directory.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"

@@ -171,16 +171,28 @@ def run_degradation(
     error_budget: float = DEFAULT_ERROR_BUDGET,
     gap_threshold_s: float = DEFAULT_GAP_THRESHOLD_S,
     dataset: SimulationDataset | None = None,
+    store: "object | None" = None,
 ) -> DegradationCurve:
     """Run the degradation sweep; levels are sorted, 0.0 forced in.
 
     ``dataset`` short-circuits the simulation when the caller already
     has one (the tests reuse the session-wide smoke dataset).
+    ``store`` (an :class:`~repro.cache.store.ArtifactStore`) loads the
+    clean baseline from the content-addressed artifact cache instead of
+    resimulating it — the sweep only ever needs the clean rendered
+    console text plus the observable layers, so a warm store makes a
+    repeated sweep pay for corruption + parsing alone.  Per-level
+    corrupted results are *never* cached: they are not a pure function
+    of ``(scenario, seed, epoch)``.
     """
     if dataset is None:
-        dataset = TitanSimulation(
-            scenario if scenario is not None else Scenario.smoke()
-        ).run()
+        sc = scenario if scenario is not None else Scenario.smoke()
+        if store is not None:
+            from repro.cache import load_or_simulate
+
+            dataset, _warm = load_or_simulate(sc, store)  # type: ignore[arg-type, assignment]
+        else:
+            dataset = TitanSimulation(sc).run()
     swept = sorted(set(float(level) for level in levels) | {0.0})
     points = tuple(
         _evaluate_level(

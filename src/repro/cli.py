@@ -11,6 +11,14 @@ Commands
 ``corrupt``       deterministically corrupt an existing log file
 ``degradation``   corruption sweep: at what damage level do findings flip?
 ``lint``          AST determinism/invariant linter over the source tree
+``cache``         artifact-store maintenance (``info``/``clear``/``evict``)
+
+Every analysis command accepts ``--seed`` and ``--cache-dir``: with a
+cache directory (or ``$REPRO_CACHE_DIR``), the simulated dataset's
+telemetry layers are written to a content-addressed artifact store on
+the first (cold) run and reused on every later (warm) run — *collect
+once, analyze many times*, like the paper's own workflow.  ``--no-cache``
+forces a cold run even when the environment variable is set.
 
 The CLI is a thin veneer over the library; each command maps onto the
 public API one-to-one so scripts can graduate to imports.
@@ -41,6 +49,46 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="run the full 21-month paper scenario")
     p.add_argument("--days", type=float, default=60.0,
                    help="window length for the default quick scenario")
+    p.add_argument("--cache-dir", type=Path, default=None,
+                   help="content-addressed artifact store to reuse "
+                        "simulated telemetry from (default: "
+                        "$REPRO_CACHE_DIR if set, else caching is off)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir/$REPRO_CACHE_DIR and run cold")
+
+
+def _store(args) -> "ArtifactStore | None":
+    """The artifact store selected by ``--cache-dir``/environment.
+
+    Caching is opt-in: ``--no-cache`` wins, an explicit ``--cache-dir``
+    is honored, and otherwise ``$REPRO_CACHE_DIR`` enables it.  With no
+    signal at all the pipeline runs cold and writes nothing.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.cache import ArtifactStore
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        return ArtifactStore(cache_dir)
+    import os
+
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ArtifactStore(env) if env else None
+
+
+def _load_dataset(args, *, require_ground_truth: bool = False):
+    """Cache-aware dataset front door shared by the analysis commands."""
+    from repro.cache import load_or_simulate
+
+    store = _store(args)
+    dataset, warm = load_or_simulate(
+        _scenario(args), store, require_ground_truth=require_ground_truth
+    )
+    if store is not None:
+        state = "hit (warm)" if warm else "miss (simulated, persisted)"
+        print(f"cache: {state} [{store.root}]")
+    return dataset, store
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,14 +159,19 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(p_lint)
+
+    p_cache = sub.add_parser(
+        "cache", help="artifact-store maintenance: info / clear / evict"
+    )
+    from repro.cache.cli import add_cache_arguments
+
+    add_cache_arguments(p_cache)
     return parser
 
 
 def cmd_simulate(args) -> int:
-    from repro.sim import TitanSimulation
-
-    scenario = _scenario(args)
-    dataset = TitanSimulation(scenario).run()
+    dataset, _store_ = _load_dataset(args)
+    scenario = dataset.scenario
     text = dataset.console_text
     if args.chaos_rate > 0.0:
         from repro.chaos import ChaosConfig, CorruptionInjector
@@ -155,11 +208,10 @@ def cmd_simulate(args) -> int:
 def cmd_figures(args) -> int:
     from repro.core import TitanStudy
     from repro.core.report import render_monthly_series, render_table
-    from repro.sim import TitanSimulation
     from repro.units import month_labels
 
-    dataset = TitanSimulation(_scenario(args)).run()
-    study = TitanStudy(dataset)
+    dataset, store = _load_dataset(args)
+    study = TitanStudy(dataset, store=store)
     labels = month_labels()
     print(render_table(["GPU Error", "XID"], study.table1()))
     fig2 = study.fig2()
@@ -192,10 +244,9 @@ def cmd_observations(args) -> int:
     so the chaos degradation experiment reruns exactly the same suite.
     """
     from repro.core import TitanStudy, observation_scorecard
-    from repro.sim import TitanSimulation
 
-    dataset = TitanSimulation(_scenario(args)).run()
-    checks = observation_scorecard(TitanStudy(dataset))
+    dataset, store = _load_dataset(args)
+    checks = observation_scorecard(TitanStudy(dataset, store=store))
 
     width = max(len(check.name) for check in checks)
     failed = 0
@@ -250,6 +301,7 @@ def cmd_degradation(args) -> int:
         levels=levels,
         seed=args.seed,
         error_budget=args.budget,
+        store=_store(args),
     )
     n_checks = len(curve.baseline.checks)
     print(f"{'level':>8}  {'pass':>5}  {'degraded':>8}  {'corrupt':>8}  "
@@ -282,9 +334,11 @@ def cmd_degradation(args) -> int:
 def cmd_fleet_health(args) -> int:
     from repro.core.offenders import offender_slots
     from repro.core.report import render_table
-    from repro.sim import TitanSimulation
 
-    dataset = TitanSimulation(_scenario(args)).run()
+    # Needs the fleet's ground-truth ledgers for the anomaly check, so
+    # this always simulates — but still persists the telemetry layers
+    # for the observable-only commands to warm-load later.
+    dataset, _store_ = _load_dataset(args, require_ground_truth=True)
     table = dataset.nvsmi_table
     machine = dataset.machine
     offenders = offender_slots(table["sbe_total"], args.top)
@@ -305,9 +359,10 @@ def cmd_fleet_health(args) -> int:
 def cmd_calibration(args) -> int:
     """Run the calibration self-check; non-zero exit on any failure."""
     from repro.faults.validation import validate_calibration
-    from repro.sim import TitanSimulation
 
-    dataset = TitanSimulation(_scenario(args)).run()
+    # Calibration validates measured statistics against the injector's
+    # ground truth, which is never cached: always a real simulation.
+    dataset, _store_ = _load_dataset(args, require_ground_truth=True)
     checks = validate_calibration(dataset)
     failed = 0
     for check in checks:
@@ -324,6 +379,13 @@ def cmd_lint(args) -> int:
     return _cmd_lint(args)
 
 
+def cmd_cache(args) -> int:
+    """Artifact-store maintenance (see :mod:`repro.cache.cli`)."""
+    from repro.cache.cli import cmd_cache as _cmd_cache
+
+    return _cmd_cache(args)
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "figures": cmd_figures,
@@ -333,6 +395,7 @@ _COMMANDS = {
     "corrupt": cmd_corrupt,
     "degradation": cmd_degradation,
     "lint": cmd_lint,
+    "cache": cmd_cache,
 }
 
 

@@ -74,13 +74,15 @@ from repro.core.prediction import (
 from repro.core.availability import AvailabilityReport, availability_report
 from repro.core.export import study_summary, write_summary_json
 from repro.core.impact import ImpactReport, application_impact
+from repro.core.golden import golden_diff, golden_document
 from repro.core.observations import (
     ObservationCheck,
+    headline_statistics,
     observation_scorecard,
     scorecard_flips,
 )
 from repro.core.opsreport import MonthlyOpsReport, build_monthly_report
-from repro.core.study import TitanStudy
+from repro.core.study import FIGURES, TitanStudy
 
 __all__ = [
     "bootstrap_ci",
@@ -128,5 +130,9 @@ __all__ = [
     "ObservationCheck",
     "observation_scorecard",
     "scorecard_flips",
+    "headline_statistics",
+    "golden_document",
+    "golden_diff",
     "TitanStudy",
+    "FIGURES",
 ]

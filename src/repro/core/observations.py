@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-__all__ = ["ObservationCheck", "observation_scorecard", "scorecard_flips"]
+__all__ = [
+    "ObservationCheck",
+    "observation_scorecard",
+    "scorecard_flips",
+    "headline_statistics",
+]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.study import TitanStudy
@@ -119,6 +124,46 @@ def observation_scorecard(study: "TitanStudy") -> list[ObservationCheck]:
         lambda: study.fig21().observation_14_holds(),
     ))
     return checks
+
+
+def headline_statistics(study: "TitanStudy") -> dict[str, float]:
+    """The study's headline numbers as one flat ``{name: float}`` dict.
+
+    This is the *single* numeric summary definition shared by the
+    replica error-bar machinery (:mod:`repro.parallel.replicas`), the
+    golden-trace regression suite (``tests/test_golden.py``) and the
+    CLI — the scorecard above gives the boolean verdicts, this gives
+    the numbers behind them.  Statistics that cannot be computed on a
+    given dataset (e.g. no snapshot records in a tiny window) are
+    simply absent, mirroring how the paper reports only what its
+    telemetry supported.
+    """
+    fig2 = study.fig2()
+    fig14 = study.fig14()
+    report = study.figs16_19()
+    out: dict[str, float] = {
+        "dbe_total": float(fig2.total),
+        "otb_total": float(study.fig4().total),
+        "retirements": float(study.fig6().total),
+        "sbe_cards": float(fig14.n_cards_with_sbe),
+        "sbe_fraction": float(fig14.fleet_fraction_with_sbe),
+        "sbe_skew_all": float(fig14.skewness["all"]),
+        "sbe_skew_minus50": float(fig14.skewness["minus_top50"]),
+        "spearman_core_hours": float(
+            report.all_jobs["gpu_core_hours"].spearman
+        ),
+        "spearman_nodes": float(report.all_jobs["n_nodes"].spearman),
+        "spearman_max_memory": float(
+            report.all_jobs["max_memory_gb"].spearman
+        ),
+    }
+    if fig2.mtbf_hours is not None:
+        out["dbe_mtbf_hours"] = float(fig2.mtbf_hours)
+    try:
+        out["spearman_users"] = float(study.fig20().all_users.spearman)
+    except ValueError:  # no snapshot records in tiny scenarios
+        pass
+    return out
 
 
 def scorecard_flips(

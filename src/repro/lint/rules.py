@@ -141,8 +141,11 @@ _WALL_CLOCK_CALLS: frozenset[str] = frozenset(
 )
 
 #: Directories whose contents must be a pure function of (scenario, seed).
+#: ``cache`` is included because a wall-clock or ambient-RNG read inside
+#: the artifact store would break the content-address contract (same
+#: inputs ⇒ same bytes) that the golden-trace suite enforces.
 _DETERMINISTIC_DIRS: frozenset[str] = frozenset(
-    {"sim", "faults", "workload", "telemetry", "chaos"}
+    {"sim", "faults", "workload", "telemetry", "chaos", "cache"}
 )
 
 

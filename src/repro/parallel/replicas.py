@@ -39,43 +39,29 @@ class ReplicaSummary:
 def summarize_dataset(dataset: SimulationDataset) -> dict[str, float]:
     """Reduce one dataset to the headline statistics of the study.
 
-    Uses the observable pipeline (parsed log, nvsmi, snapshots) exactly
-    like :class:`~repro.core.study.TitanStudy`.
+    Thin wrapper over :func:`repro.core.observations.headline_statistics`
+    — the *single* definition shared with the observation scorecard and
+    the golden-trace suite — kept here for backward compatibility and
+    as the picklable worker-side entry point.
     """
+    from repro.core.observations import headline_statistics
     from repro.core.study import TitanStudy
 
-    study = TitanStudy(dataset)
-    fig2 = study.fig2()
-    fig14 = study.fig14()
-    report = study.figs16_19()
-    out: dict[str, float] = {
-        "dbe_total": float(fig2.total),
-        "otb_total": float(study.fig4().total),
-        "retirements": float(study.fig6().total),
-        "sbe_cards": float(fig14.n_cards_with_sbe),
-        "sbe_fraction": float(fig14.fleet_fraction_with_sbe),
-        "sbe_skew_all": float(fig14.skewness["all"]),
-        "sbe_skew_minus50": float(fig14.skewness["minus_top50"]),
-        "spearman_core_hours": float(
-            report.all_jobs["gpu_core_hours"].spearman
-        ),
-        "spearman_nodes": float(report.all_jobs["n_nodes"].spearman),
-        "spearman_max_memory": float(
-            report.all_jobs["max_memory_gb"].spearman
-        ),
-    }
-    if fig2.mtbf_hours is not None:
-        out["dbe_mtbf_hours"] = float(fig2.mtbf_hours)
-    try:
-        out["spearman_users"] = float(study.fig20().all_users.spearman)
-    except ValueError:  # no snapshot records in tiny scenarios
-        pass
-    return out
+    return headline_statistics(TitanStudy(dataset))
 
 
-def _run_one(scenario: Scenario) -> ReplicaSummary:
-    dataset = TitanSimulation(scenario).run()
-    return ReplicaSummary(seed=scenario.seed, statistics=summarize_dataset(dataset))
+def _run_one(task: "tuple[Scenario, str | None]") -> ReplicaSummary:
+    """Worker-side: one replica, warm from the artifact cache if given."""
+    scenario, cache_dir = task
+    if cache_dir is not None:
+        from repro.cache import ArtifactStore, load_or_simulate
+
+        dataset, _warm = load_or_simulate(scenario, ArtifactStore(cache_dir))
+    else:
+        dataset = TitanSimulation(scenario).run()
+    return ReplicaSummary(
+        seed=scenario.seed, statistics=summarize_dataset(dataset)
+    )
 
 
 def run_replicas(
@@ -83,13 +69,24 @@ def run_replicas(
     seeds: list[int],
     *,
     n_workers: int = 1,
+    cache_dir: "str | None" = None,
 ) -> list[ReplicaSummary]:
     """Simulate and summarize one replica per seed (optionally in
-    parallel processes)."""
+    parallel processes).
+
+    ``cache_dir`` routes every replica through the content-addressed
+    artifact store (:mod:`repro.cache`): a repeated sweep — new
+    statistics over the same seeds, or an interrupted campaign resumed
+    — reuses each seed's cached telemetry layers instead of
+    resimulating, and a first run leaves them behind for the next one.
+    Workers open their own store handle, so the path (not the store
+    object) crosses the process boundary.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    scenarios = [base.evolve(seed=int(s)) for s in seeds]
-    return parallel_map(_run_one, scenarios, n_workers=n_workers)
+    cache = str(cache_dir) if cache_dir is not None else None
+    tasks = [(base.evolve(seed=int(s)), cache) for s in seeds]
+    return parallel_map(_run_one, tasks, n_workers=n_workers)
 
 
 def replica_confidence_intervals(

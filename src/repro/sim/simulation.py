@@ -62,6 +62,12 @@ class SimulationDataset:
     trace: JobTrace
     injection: InjectionResult
     nvsmi: NvidiaSmi
+    #: ``"simulated"`` for a pristine run, ``"modified"`` once the
+    #: observable console stream was replaced (chaos experiments).  The
+    #: figure cache only ever persists results for pristine datasets —
+    #: a modified stream must never be written back under the clean
+    #: scenario's content address.
+    provenance: str = "simulated"
     _console_text: Optional[str] = field(default=None, repr=False)
     _parsed: Optional[tuple[EventLog, ParseStats]] = field(default=None, repr=False)
     _nvsmi_table: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
@@ -114,7 +120,7 @@ class SimulationDataset:
         import dataclasses
 
         return dataclasses.replace(
-            self, _console_text=text, _parsed=parsed
+            self, _console_text=text, _parsed=parsed, provenance="modified"
         )
 
     @property

@@ -29,6 +29,7 @@ _DETERMINISTIC_PREFIXES = (
     "repro.workload",
     "repro.telemetry",
     "repro.chaos",
+    "repro.cache",
 )
 
 _DETERMINISTIC_PATH_PARTS = tuple(
@@ -88,6 +89,24 @@ def _no_stdlib_random_in_sim():
                     "RngTree-derived numpy Generators — see RL001 in "
                     "docs/LINT.md"
                 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current pipeline "
+             "instead of asserting against them (use after an "
+             "intentional pipeline change, together with a "
+             "PIPELINE_EPOCH bump; see tests/golden/README.md)",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request):
+    """True when the run should regenerate the golden trace files."""
+    return bool(request.config.getoption("--regen-golden"))
 
 
 @pytest.fixture(scope="session")

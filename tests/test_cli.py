@@ -1,8 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+#: Every analysis subcommand shares the common flag set (--seed,
+#: --days/--full, --cache-dir, --no-cache).
+ANALYSIS_COMMANDS = (
+    "simulate",
+    "figures",
+    "observations",
+    "fleet-health",
+    "calibration",
+    "degradation",
+)
 
 
 class TestParser:
@@ -127,3 +140,127 @@ class TestCalibrationCommand:
         out = capsys.readouterr().out
         assert "calibration checks pass" in out
         assert rc == 0
+
+
+class TestCacheFlags:
+    """Every analysis subcommand takes --seed/--cache-dir consistently."""
+
+    @pytest.mark.parametrize("command", ANALYSIS_COMMANDS)
+    def test_seed_and_cache_dir_accepted(self, command, tmp_path):
+        args = build_parser().parse_args(
+            [command, "--seed", "5", "--cache-dir", str(tmp_path)]
+        )
+        assert args.seed == 5
+        assert args.cache_dir == tmp_path
+        assert not args.no_cache
+
+    @pytest.mark.parametrize("command", ANALYSIS_COMMANDS)
+    def test_no_cache_accepted(self, command):
+        args = build_parser().parse_args([command, "--no-cache"])
+        assert args.no_cache
+        assert args.cache_dir is None
+
+    def test_observations_warm_run_identical(self, tmp_path, capsys):
+        # rc is data-dependent on a short window (nonzero when a check
+        # fails); the contract is cold and warm agree *exactly*.
+        argv = ["observations", "--days", "30", "--seed", "77",
+                "--cache-dir", str(tmp_path / "store")]
+        rc_cold = main(argv)
+        cold = capsys.readouterr().out
+        assert "cache: miss (simulated, persisted)" in cold
+        rc_warm = main(argv)
+        warm = capsys.readouterr().out
+        assert "cache: hit (warm)" in warm
+        assert rc_warm == rc_cold
+
+        def analysis(text):
+            return [l for l in text.splitlines()
+                    if not l.startswith("cache:")]
+
+        assert analysis(warm) == analysis(cold)
+
+    def test_no_cache_wins_over_env(self, tmp_path, capsys, monkeypatch):
+        envstore = tmp_path / "envstore"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(envstore))
+        main(["observations", "--days", "30", "--seed", "77", "--no-cache"])
+        assert "cache:" not in capsys.readouterr().out
+        assert not envstore.exists()
+
+    def test_env_var_enables_cache(self, tmp_path, capsys, monkeypatch):
+        envstore = tmp_path / "envstore"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(envstore))
+        main(["observations", "--days", "30", "--seed", "77"])
+        assert "cache: miss" in capsys.readouterr().out
+        assert envstore.exists()
+
+    def test_ground_truth_run_warms_store_for_analysis(self, tmp_path,
+                                                       capsys):
+        """fleet-health always simulates (ground truth) but persists the
+        observable layers, so a later observables-only run is warm."""
+        store = str(tmp_path / "store")
+        rc = main(["fleet-health", "--days", "30", "--seed", "77",
+                   "--cache-dir", store, "--top", "3"])
+        assert rc == 0
+        assert "miss (simulated, persisted)" in capsys.readouterr().out
+        main(["observations", "--days", "30", "--seed", "77",
+              "--cache-dir", store])
+        assert "cache: hit (warm)" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    """python -m repro cache {info,clear,evict} end to end."""
+
+    def _populate(self, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main(["simulate", "--days", "20", "--seed", "77",
+                   "--cache-dir", store,
+                   "--log-out", str(tmp_path / "c.log")])
+        assert rc == 0
+        return store
+
+    def test_info_empty_store(self, tmp_path, capsys):
+        rc = main(["cache", "info", "--cache-dir", str(tmp_path), "--json"])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["n_artifacts"] == 0
+        assert info["datasets"] == []
+
+    def test_info_clear_roundtrip(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", store, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["n_artifacts"] == 5  # the five dataset layers
+        assert len(info["datasets"]) == 1
+        assert info["total_bytes"] > 0
+        assert main(["cache", "clear", "--cache-dir", store, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 5
+        assert main(["cache", "info", "--cache-dir", store, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_artifacts"] == 0
+
+    def test_info_human_readable(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts    5" in out
+        assert "datasets     1" in out
+
+    def test_evict_requires_budget(self, tmp_path, capsys):
+        rc = main(["cache", "evict", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "requires --max-mb" in capsys.readouterr().out
+
+    def test_evict_to_zero(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        rc = main(["cache", "evict", "--cache-dir", store,
+                   "--max-mb", "0", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert len(out["evicted"]) == 5
+        assert out["total_bytes"] == 0
+
+    def test_cache_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
