@@ -32,6 +32,7 @@ import numpy as np
 
 __all__ = [
     "PIPELINE_EPOCH",
+    "PIPELINE_SURFACE",
     "canonical_encode",
     "canonical_json",
     "scenario_fingerprint",
@@ -43,6 +44,21 @@ __all__ = [
 #: Bump on any change that can move a cached number; see
 #: docs/PERFORMANCE.md ("Invalidation rules") for the contract.
 PIPELINE_EPOCH: int = 1
+
+#: Digest of the public API surface (function/class signatures) of the
+#: deterministic pipeline modules (sim, faults, workload, telemetry,
+#: chaos, cache).  ``repro lint`` rule RL103 recomputes this and fails
+#: when the surface drifts without this constant — and, by policy,
+#: :data:`PIPELINE_EPOCH` — being revisited.  Regenerate with::
+#:
+#:     python -c "from repro.lint import lint_paths  # registers rules
+#:     from repro.lint.context import build_context
+#:     from repro.lint.engine import iter_python_files
+#:     from repro.lint.project import build_project
+#:     from repro.lint.flow import surface_digest
+#:     ctxs = [build_context(p) for p in iter_python_files(['src'])]
+#:     print(surface_digest(build_project(ctxs)))"
+PIPELINE_SURFACE: str = "81b5144808d78eda"
 
 
 def canonical_encode(obj: Any) -> Any:

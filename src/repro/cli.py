@@ -27,6 +27,7 @@ public API one-to-one so scripts can graduate to imports.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -154,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "<= this threshold")
 
     p_lint = sub.add_parser(
-        "lint", help="run the determinism & invariant linter (RL001-RL006)"
+        "lint", help="run the determinism & invariant linter "
+        "(RL001-RL007 local rules, RL100-RL103 project flow rules)"
     )
     from repro.lint.cli import add_lint_arguments
 
@@ -402,7 +404,13 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; swap stdout
+        # for devnull so interpreter shutdown doesn't traceback too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

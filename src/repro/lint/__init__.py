@@ -16,32 +16,78 @@ RL003     no-unordered-iteration  no iteration over bare sets / ``.keys()``
 RL004     no-builtin-hash         stream keys use zlib.crc32, never ``hash()``
 RL005     xid-in-taxonomy         XID literals must exist in ``repro.errors``
 RL006     no-magic-durations      use ``repro.units`` HOUR/DAY/WEEK helpers
+RL007     unused-suppression      every ``repro: noqa`` must suppress something
 ========  ======================  =============================================
 
-Run it as ``python -m repro lint [--format json] [--select RULES]
-[paths]``; suppress a single line with ``# repro: noqa[RL001]``.
+Since v2 the engine also builds a whole-project view (symbol tables,
+import graph, approximate call graph) and runs **flow rules** over it:
+
+========  ======================  =============================================
+RL100     seed-flow               stochastic calls draw from an explicitly
+                                  threaded ``rng`` / RngTree-derived generator
+RL101     spawn-safety            callables shipped to ``repro.parallel`` pools
+                                  are module-level and pickle-safe
+RL102     cache-key-purity        fingerprint helpers in ``cache/keys.py`` stay
+                                  pure (no env, clock, filesystem, ambient RNG)
+RL103     epoch-discipline        the public surface of deterministic modules
+                                  matches the digest recorded beside
+                                  ``PIPELINE_EPOCH``
+========  ======================  =============================================
+
+Run it as ``python -m repro lint [--format human|json|sarif] [--select
+RULES] [--fix] [--baseline FILE] [paths]`` (or the installed
+``repro-lint`` script); suppress a single line with
+``# repro: noqa[RL001]``.
 """
 
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
 from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Edit, Finding, Fix, Severity
+from repro.lint.fixes import FixReport, apply_fixes
+from repro.lint.project import ProjectContext, ProjectRule, build_project
 from repro.lint.registry import Rule, all_rules, get_rule, resolve_selection
-from repro.lint.reporters import render_human, render_json, render_rule_list
+from repro.lint.reporters import (
+    render_human,
+    render_json,
+    render_rule_list,
+    render_sarif,
+)
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates the registry.
+from repro.lint import flow as _flow  # noqa: F401  (side-effect import)
 from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
+from repro.lint.flow import surface_digest
 
 __all__ = [
     "Finding",
+    "Fix",
+    "Edit",
     "Severity",
     "Rule",
+    "ProjectRule",
+    "ProjectContext",
     "LintResult",
+    "FixReport",
     "all_rules",
     "get_rule",
     "resolve_selection",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "build_project",
+    "surface_digest",
+    "apply_fixes",
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
     "render_human",
     "render_json",
     "render_rule_list",
+    "render_sarif",
 ]

@@ -1,0 +1,142 @@
+"""Committed finding baselines: land new rules warn-first, then ratchet.
+
+A baseline is a checked-in JSON inventory of *accepted* findings::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "tests/test_workload.py", "code": "RL001", "count": 2},
+        ...
+      ]
+    }
+
+Applying a baseline subtracts up to ``count`` findings per
+``(path, code)`` — by line order, so the allowance always covers the
+*earliest* occurrences and a newly-introduced violation further down
+still fails the run.  The contract is a one-way ratchet:
+
+* a **new** finding (not covered by the allowance) fails the run;
+* a **fixed** finding makes its entry *stale* — the allowance is now
+  larger than reality — and stale entries fail the run too, forcing
+  the baseline to shrink in the same change.
+
+Counts are deliberately line-number-free so unrelated edits to a file
+never invalidate the baseline.  Regenerate with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePosixPath
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: (normalized path, rule code) -> accepted finding count
+BaselineMap = dict[tuple[str, str], int]
+
+
+def _norm_path(path: str) -> str:
+    """Forward-slash, cwd-relative path form so baselines are portable.
+
+    Baselines are committed, so entries must not depend on where the
+    checkout lives or whether the lint run was given absolute paths.
+    """
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return str(PurePosixPath(*p.parts))
+
+
+def load_baseline(path: Path | str) -> BaselineMap:
+    """Parse a baseline file; raises ``ValueError`` on malformed input."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline {path}: no entries list")
+    out: BaselineMap = {}
+    for entry in entries:
+        try:
+            key = (_norm_path(str(entry["path"])), str(entry["code"]))
+            count = int(entry["count"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed baseline entry: {entry!r}") from exc
+        if count < 1:
+            raise ValueError(f"non-positive baseline count: {entry!r}")
+        out[key] = out.get(key, 0) + count
+    return out
+
+
+def render_baseline(findings: tuple[Finding, ...]) -> str:
+    """Serialize findings into the canonical baseline document."""
+    counts: dict[tuple[str, str], int] = {}
+    for f in findings:
+        key = (_norm_path(f.path), f.code)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": path, "code": code, "count": count}
+        for (path, code), count in sorted(counts.items())
+    ]
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def write_baseline(path: Path | str, result: LintResult) -> int:
+    """Write the current findings as a baseline; returns entry count."""
+    text = render_baseline(result.findings)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+    return len(json.loads(text)["entries"])
+
+
+def apply_baseline(
+    result: LintResult, baseline: BaselineMap
+) -> tuple[LintResult, tuple[str, ...]]:
+    """Subtract baselined findings; report stale entries.
+
+    Returns the filtered result plus human-readable descriptions of
+    stale allowances (baseline entries bigger than reality).  Stale
+    entries mean someone fixed a finding without ratcheting the
+    baseline down — the caller should fail the run so the baseline
+    only ever shrinks.
+    """
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    for f in sorted(result.findings):
+        key = (_norm_path(f.path), f.code)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(f)
+    stale = tuple(
+        f"{path}: {code} ×{count} no longer present — "
+        "remove from the baseline"
+        for (path, code), count in sorted(remaining.items())
+        if count > 0
+    )
+    filtered = LintResult(
+        findings=tuple(kept),
+        files_checked=result.files_checked,
+        rule_codes=result.rule_codes,
+    )
+    return filtered, stale

@@ -1,22 +1,36 @@
-"""The ``repro lint`` subcommand.
+"""The ``repro lint`` subcommand (also installed as ``repro-lint``).
 
 Kept separate from :mod:`repro.cli` so the top-level CLI stays a thin
 dispatcher and so mypy's strict mode covers the whole lint package.
 
-Exit codes: 0 clean, 1 findings present, 2 bad invocation (unknown
-rule, missing path).
+Exit codes: 0 clean, 1 findings present (or stale baseline entries),
+2 bad invocation (unknown rule, missing path, unreadable baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.engine import lint_paths
-from repro.lint.reporters import render_human, render_json, render_rule_list
+from repro.lint.fixes import apply_fixes
+from repro.lint.reporters import (
+    render_human,
+    render_json,
+    render_rule_list,
+    render_sarif,
+)
 
-__all__ = ["add_lint_arguments", "cmd_lint", "default_lint_root"]
+__all__ = ["add_lint_arguments", "cmd_lint", "default_lint_root", "main"]
+
+_RENDERERS = {
+    "human": render_human,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 def default_lint_root() -> Path:
@@ -37,7 +51,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=tuple(_RENDERERS),
         default="human",
         dest="format_",
         help="report format (default: human)",
@@ -48,6 +62,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="RULES",
         help="comma-separated rule codes to run, e.g. RL001,RL004 "
         "(default: all)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes (RL006 units helpers, stale noqa "
+        "removal), then re-lint and report what remains",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="subtract accepted findings recorded in FILE; stale "
+        "entries (fixed findings not yet removed from FILE) fail "
+        "the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the accepted baseline "
+        "and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -67,6 +104,58 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except (FileNotFoundError, KeyError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if args.format_ == "json" else render_human
-    print(renderer(result))
-    return result.exit_code
+
+    if args.fix:
+        report = apply_fixes(result.findings)
+        if report.changed:
+            print(
+                f"repro lint: fixed {report.findings_fixed} finding(s) "
+                f"in {len(report.files_changed)} file(s)",
+                file=sys.stderr,
+            )
+            result = lint_paths(paths, select=args.select)
+
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, result)
+        print(
+            f"repro lint: wrote {n} baseline entr"
+            f"{'y' if n == 1 else 'ies'} to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    stale: tuple[str, ...] = ()
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (FileNotFoundError, ValueError, OSError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        result, stale = apply_baseline(result, baseline)
+
+    print(_RENDERERS[args.format_](result))
+    for entry in stale:
+        print(f"repro lint: stale baseline entry — {entry}", file=sys.stderr)
+    return 1 if stale else result.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the ``repro-lint`` console script)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST determinism & invariant linter for the Titan "
+        "reproduction (RL001-RL007 local rules, RL100-RL103 "
+        "project flow rules)",
+    )
+    add_lint_arguments(parser)
+    try:
+        return cmd_lint(parser.parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; swap stdout
+        # for devnull so interpreter shutdown doesn't traceback too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,23 +5,53 @@ directories plus an optional rule selection, get back a
 :class:`LintResult` with sorted findings.  Unparseable files become
 ``RL000`` findings instead of aborting the run, so one syntax error
 cannot hide the rest of the report.
+
+Since v2 the engine is **project-aware**: all modules are parsed first,
+a :class:`~repro.lint.project.ProjectContext` (symbol tables + import
+graph + call graph) is built once, and the flow rules (RL100–RL103)
+run over it after the per-module rules.  Suppressions are applied last,
+per file, so a ``# repro: noqa`` mutes project findings exactly like
+local ones — and RL007 then audits the suppression table itself.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
 
 from repro.lint.context import ModuleContext, build_context
 from repro.lint.findings import Finding, Severity
-from repro.lint.noqa import apply_suppressions, collect_suppressions
-from repro.lint.registry import Rule, resolve_selection
+from repro.lint.noqa import (
+    apply_suppressions,
+    collect_suppressions,
+    suppression_hygiene,
+)
+from repro.lint.registry import Rule, all_rules, resolve_selection
 
 __all__ = ["LintResult", "iter_python_files", "lint_paths", "lint_source"]
 
 #: Pseudo-rule code attached to files the linter could not parse.
 PARSE_ERROR_CODE = "RL000"
+
+#: Directory names never walked into: caches, VCS metadata, virtualenvs
+#: and build output are not project source.  Any other dot-directory is
+#: skipped too (mirrors the long-standing ``__pycache__`` exclusion).
+EXCLUDED_DIR_NAMES: frozenset[str] = frozenset(
+    {
+        "__pycache__",
+        ".venv",
+        "venv",
+        ".git",
+        ".hg",
+        ".tox",
+        ".nox",
+        ".eggs",
+        "build",
+        "dist",
+        "node_modules",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -48,13 +78,26 @@ class LintResult:
             counts[f.code] = counts.get(f.code, 0) + 1
         return dict(sorted(counts.items()))
 
+    def fixable(self) -> tuple[Finding, ...]:
+        """The subset of findings carrying a mechanical fix."""
+        return tuple(f for f in self.findings if f.fix is not None)
+
+
+def _excluded(parts: Sequence[str]) -> bool:
+    return any(
+        p in EXCLUDED_DIR_NAMES or p.startswith(".") for p in parts
+    )
+
 
 def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
     """Expand files/directories into a sorted list of ``.py`` files.
 
-    Directories are walked recursively; ``__pycache__`` is skipped.
-    Missing paths raise ``FileNotFoundError`` (a lint run against a
-    typo'd path must not silently pass).
+    Directories are walked recursively; ``__pycache__``, VCS metadata,
+    virtualenvs, build output and any hidden (dot-) directory are
+    skipped — vendored trees are not project source (exclusion applies
+    to components *below* the given root, so an explicitly-named path
+    is always honoured).  Missing paths raise ``FileNotFoundError`` (a
+    lint run against a typo'd path must not silently pass).
     """
     out: list[Path] = []
     for raw in paths:
@@ -63,7 +106,7 @@ def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
             out.extend(
                 p
                 for p in sorted(path.rglob("*.py"))
-                if "__pycache__" not in p.parts
+                if not _excluded(p.relative_to(path).parts[:-1])
             )
         elif path.is_file():
             out.append(path)
@@ -73,12 +116,64 @@ def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
     return sorted(set(out))
 
 
-def _check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
-    findings: list[Finding] = []
-    for rule in rules:
-        findings.extend(rule.check(ctx))
-    table = collect_suppressions(ctx.lines)
-    return apply_suppressions(findings, table)
+def _check_contexts(
+    contexts: Sequence[ModuleContext],
+    rule_classes: Sequence[type[Rule]],
+) -> list[Finding]:
+    """Run module + project rules, then suppressions, then RL007."""
+    from repro.lint.project import ProjectRule, build_project
+
+    module_rules = [
+        cls()
+        for cls in rule_classes
+        if not issubclass(cls, ProjectRule)
+        and not getattr(cls, "engine_driven", False)
+    ]
+    project_rules = [
+        cls() for cls in rule_classes if issubclass(cls, ProjectRule)
+    ]
+    hygiene_rule = next(
+        (cls() for cls in rule_classes if cls.code == "RL007"), None
+    )
+
+    raw: list[Finding] = []
+    for ctx in contexts:
+        for rule in module_rules:
+            raw.extend(rule.check(ctx))
+    if project_rules:
+        project = build_project(list(contexts))
+        for prule in project_rules:
+            raw.extend(prule.check_project(project))
+
+    by_path: dict[str, list[Finding]] = {}
+    for f in raw:
+        by_path.setdefault(f.path, []).append(f)
+
+    known_codes = frozenset(cls.code for cls in all_rules())
+    full_run = {cls.code for cls in rule_classes} >= known_codes
+    out: list[Finding] = []
+    for ctx in contexts:
+        table = collect_suppressions(ctx.source)
+        out.extend(
+            apply_suppressions(
+                sorted(by_path.pop(str(ctx.path), [])), table
+            )
+        )
+        if hygiene_rule is not None and table.markers:
+            out.extend(
+                suppression_hygiene(
+                    hygiene_rule,
+                    ctx,
+                    table,
+                    known_codes=known_codes,
+                    check_unused=full_run,
+                )
+            )
+    # Findings for paths with no parsed context (should not happen) pass
+    # through unsuppressed rather than vanish.
+    for leftovers in by_path.values():
+        out.extend(leftovers)
+    return out
 
 
 def lint_source(
@@ -87,10 +182,14 @@ def lint_source(
     filename: str = "<memory>",
     select: str | None = None,
 ) -> list[Finding]:
-    """Lint an in-memory snippet (the unit-test entry point)."""
-    rules = [cls() for cls in resolve_selection(select)]
+    """Lint an in-memory snippet (the unit-test entry point).
+
+    The snippet is analyzed as a one-module project, so project rules
+    that can operate on a single module (RL100, RL101) work here too.
+    """
+    rule_classes = resolve_selection(select)
     ctx = build_context(Path(filename), source=source)
-    return sorted(_check_module(ctx, rules))
+    return sorted(_check_contexts([ctx], rule_classes))
 
 
 def lint_paths(
@@ -100,12 +199,12 @@ def lint_paths(
 ) -> LintResult:
     """Lint files/directories and return the aggregated result."""
     rule_classes = resolve_selection(select)
-    rules = [cls() for cls in rule_classes]
     findings: list[Finding] = []
     files = iter_python_files(paths)
+    contexts: list[ModuleContext] = []
     for path in files:
         try:
-            ctx = build_context(path)
+            contexts.append(build_context(path))
         except SyntaxError as exc:
             findings.append(
                 Finding(
@@ -117,8 +216,7 @@ def lint_paths(
                     severity=Severity.ERROR,
                 )
             )
-            continue
-        findings.extend(_check_module(ctx, rules))
+    findings.extend(_check_contexts(contexts, rule_classes))
     return LintResult(
         findings=tuple(sorted(findings)),
         files_checked=len(files),

@@ -1,16 +1,18 @@
-"""Finding and severity primitives for the determinism linter.
+"""Finding, severity and autofix primitives for the determinism linter.
 
 A :class:`Finding` is one rule violation at one source location.  It is
 deliberately a plain frozen dataclass so reporters can serialize it
-without knowing anything about the rule that produced it.
+without knowing anything about the rule that produced it.  A finding
+may carry a :class:`Fix` — a purely mechanical source edit the
+``--fix`` autofixer can apply without judgment calls.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Severity", "Finding"]
+__all__ = ["Severity", "Edit", "Fix", "Finding"]
 
 
 class Severity(enum.Enum):
@@ -29,12 +31,44 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True, order=True)
+class Edit:
+    """One textual replacement inside a single source line.
+
+    ``col``/``end_col`` are 0-based character offsets into physical
+    line ``line`` (1-based).  The autofixer only ever needs
+    single-line edits: every mechanically-fixable finding (a numeric
+    literal, a ``# repro: noqa`` marker) occupies one line.
+    """
+
+    line: int
+    col: int
+    end_col: int
+    replacement: str
+
+
+@dataclass(frozen=True, order=True)
+class Fix:
+    """A mechanical fix for one finding.
+
+    ``ensure_import`` optionally names a symbol (``"repro.units:HOUR"``)
+    that must be importable in the fixed module; the autofixer adds or
+    extends a ``from repro.units import …`` statement when the name is
+    not already bound.
+    """
+
+    edits: tuple[Edit, ...]
+    ensure_import: str | None = None
+
+
+@dataclass(frozen=True, order=True)
 class Finding:
     """One rule violation at one location.
 
     Ordering is (path, line, col, code) so reports are stable
     regardless of rule-execution order — the linter holds itself to
-    the same determinism standard it enforces.
+    the same determinism standard it enforces.  ``fix`` is excluded
+    from ordering/equality: two findings describing the same violation
+    are the same finding whether or not a fixer is attached.
     """
 
     path: str
@@ -43,6 +77,7 @@ class Finding:
     code: str
     message: str
     severity: Severity = Severity.ERROR
+    fix: Fix | None = field(default=None, compare=False)
 
     def render(self) -> str:
         """The canonical one-line human rendering ``file:line:col``."""
@@ -60,4 +95,5 @@ class Finding:
             "rule": self.code,
             "severity": str(self.severity),
             "message": self.message,
+            "fixable": self.fix is not None,
         }

@@ -1,0 +1,173 @@
+"""The ``--fix`` autofixer: apply mechanical fixes attached to findings.
+
+Only findings carrying a :class:`~repro.lint.findings.Fix` are touched
+— today that is RL006 (magic duration → ``repro.units`` helper, with
+the import added or extended) and RL007 (dead/unknown ``# repro:
+noqa`` markers removed or rewritten).  Fixes are single-line textual
+edits applied bottom-up per file, so earlier edits never shift later
+offsets; overlapping edits on one line are applied first-come,
+rest-skipped (the skipped finding simply resurfaces on the next run).
+
+The fixer is **idempotent by construction**: it rewrites exactly the
+spans the rules reported, and a fixed span no longer produces the
+finding, so ``--fix`` followed by a re-lint converges.  On a clean
+tree it writes nothing — CI asserts byte-identical files.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Edit, Finding
+
+__all__ = ["FixReport", "apply_fixes"]
+
+
+@dataclass(frozen=True)
+class FixReport:
+    """What one ``--fix`` pass did."""
+
+    files_changed: tuple[str, ...]
+    findings_fixed: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.files_changed)
+
+
+def _apply_edits(lines: list[str], edits: Sequence[Edit]) -> int:
+    """Apply non-overlapping edits bottom-up; returns how many applied."""
+    taken: dict[int, list[tuple[int, int]]] = {}
+    applied = 0
+    for edit in sorted(
+        edits, key=lambda e: (e.line, e.col, e.end_col), reverse=True
+    ):
+        if edit.line < 1 or edit.line > len(lines):
+            continue
+        spans = taken.setdefault(edit.line, [])
+        if any(
+            not (edit.end_col <= s or edit.col >= e) for s, e in spans
+        ):
+            continue  # overlaps an already-applied edit on this line
+        text = lines[edit.line - 1]
+        if edit.end_col > len(text):
+            continue  # stale finding (file changed since lint)
+        lines[edit.line - 1] = (
+            text[: edit.col] + edit.replacement + text[edit.end_col :]
+        )
+        spans.append((edit.col, edit.end_col))
+        applied += 1
+    return applied
+
+
+def _ensure_imports(source: str, symbols: set[str]) -> str:
+    """Guarantee ``from repro.units import <names>`` binds ``symbols``.
+
+    ``symbols`` are ``"repro.units:NAME"`` directives.  Names already
+    bound (any import form) are left alone; the rest extend an existing
+    single-line ``from repro.units import …`` statement or a new import
+    inserted after the module's import block (or docstring).
+    """
+    needed: dict[str, set[str]] = {}
+    for sym in symbols:
+        module, _, name = sym.partition(":")
+        if module and name:
+            needed.setdefault(module, set()).add(name)
+    if not needed:
+        return source
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - we only fix parseable files
+        return source
+
+    lines = source.splitlines()
+    for module, names in sorted(needed.items()):
+        bound: set[str] = set()
+        target: ast.ImportFrom | None = None
+        last_import_line = 0
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and not node.level:
+                last_import_line = max(last_import_line, node.end_lineno or 0)
+                if node.module == module:
+                    bound |= {a.asname or a.name for a in node.names}
+                    if (
+                        target is None
+                        and node.end_lineno == node.lineno
+                        and all(a.asname is None for a in node.names)
+                    ):
+                        target = node
+            elif isinstance(node, ast.Import):
+                last_import_line = max(last_import_line, node.end_lineno or 0)
+        missing = sorted(names - bound)
+        if not missing:
+            continue
+        if target is not None:
+            existing = sorted(
+                {a.name for a in target.names} | set(missing)
+            )
+            lines[target.lineno - 1] = (
+                f"from {module} import {', '.join(existing)}"
+            )
+        else:
+            insert_at = last_import_line
+            if insert_at == 0:
+                # After the module docstring, if any.
+                if (
+                    tree.body
+                    and isinstance(tree.body[0], ast.Expr)
+                    and isinstance(tree.body[0].value, ast.Constant)
+                    and isinstance(tree.body[0].value.value, str)
+                ):
+                    insert_at = tree.body[0].end_lineno or 0
+            lines.insert(
+                insert_at, f"from {module} import {', '.join(missing)}"
+            )
+        # Re-parse so a second module's insertion sees fresh line numbers.
+        source = "\n".join(lines)
+        tree = ast.parse(source)
+        lines = source.splitlines()
+    return "\n".join(lines)
+
+
+def apply_fixes(findings: Sequence[Finding]) -> FixReport:
+    """Apply every attached fix; returns which files changed.
+
+    Files are rewritten only when their content actually changes, so a
+    clean tree round-trips byte-identically.
+    """
+    by_path: dict[str, list[Finding]] = {}
+    for f in findings:
+        if f.fix is not None:
+            by_path.setdefault(f.path, []).append(f)
+
+    changed: list[str] = []
+    fixed = 0
+    for path_str in sorted(by_path):
+        path = Path(path_str)
+        if not path.is_file():
+            continue
+        original = path.read_text(encoding="utf-8")
+        trailing_newline = original.endswith("\n")
+        lines = original.splitlines()
+        file_findings = sorted(by_path[path_str])
+        edits = [e for f in file_findings for e in (f.fix.edits if f.fix else ())]
+        applied = _apply_edits(lines, edits)
+        new_source = "\n".join(lines)
+        imports = {
+            f.fix.ensure_import
+            for f in file_findings
+            if f.fix is not None and f.fix.ensure_import is not None
+        }
+        new_source = _ensure_imports(new_source, imports)
+        if trailing_newline and not new_source.endswith("\n"):
+            new_source += "\n"
+        if new_source != original:
+            path.write_text(new_source, encoding="utf-8")
+            changed.append(path_str)
+            fixed += applied
+    return FixReport(
+        files_changed=tuple(changed), findings_fixed=fixed
+    )

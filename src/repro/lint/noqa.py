@@ -7,22 +7,48 @@ Two forms are honoured, attached to the physical line of the finding::
     risky_call()        # repro: noqa[RL001,RL006]
 
 Suppressions are deliberately namespaced (``repro:``) so they never
-collide with flake8/ruff ``# noqa`` semantics, and the linter reports
-which suppressions were *used* so dead ones can be pruned.
+collide with flake8/ruff ``# noqa`` semantics.  Markers are located by
+**tokenizing** the source, not by regex over raw lines, so a noqa
+example inside a docstring or string literal is never mistaken for a
+live suppression.  The table records which markers actually suppressed
+something: RL007 (:func:`suppression_hygiene`) turns dead or
+unknown-code markers into findings of their own, each carrying a
+mechanical fix the ``--fix`` autofixer can apply.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from collections.abc import Iterable, Sequence
+import tokenize
+from collections.abc import Iterable
+from dataclasses import dataclass
 
-from repro.lint.findings import Finding
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Edit, Finding, Fix
+from repro.lint.registry import Rule
 
-__all__ = ["Suppressions", "collect_suppressions", "apply_suppressions"]
+__all__ = [
+    "Marker",
+    "Suppressions",
+    "collect_suppressions",
+    "apply_suppressions",
+    "suppression_hygiene",
+]
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
 )
+
+
+@dataclass(frozen=True)
+class Marker:
+    """One ``# repro: noqa`` comment marker in the source."""
+
+    line: int  # 1-based physical line
+    codes: tuple[str, ...] | None  # uppercased; None = blanket
+    col: int  # 0-based column where the marker's ``#`` starts
+    end_col: int  # 0-based column just past the matched marker text
 
 
 class Suppressions:
@@ -32,14 +58,17 @@ class Suppressions:
         #: line number -> set of codes, or None meaning "all rules".
         self._by_line: dict[int, set[str] | None] = {}
         self.used: set[int] = set()
+        self.markers: list[Marker] = []
 
-    def add(self, line: int, codes: set[str] | None) -> None:
-        existing = self._by_line.get(line, set())
+    def add(self, marker: Marker) -> None:
+        self.markers.append(marker)
+        codes = None if marker.codes is None else set(marker.codes)
+        existing = self._by_line.get(marker.line, set())
         if codes is None or existing is None:
-            self._by_line[line] = None
+            self._by_line[marker.line] = None
         else:
             assert isinstance(existing, set)
-            self._by_line[line] = existing | codes
+            self._by_line[marker.line] = existing | codes
 
     def suppresses(self, finding: Finding) -> bool:
         """True (and marks the suppression used) if ``finding`` is muted."""
@@ -52,19 +81,43 @@ class Suppressions:
         return False
 
 
-def collect_suppressions(lines: Sequence[str]) -> Suppressions:
-    """Scan source lines for ``# repro: noqa`` markers."""
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan a module's *comments* for ``# repro: noqa`` markers.
+
+    Tokenization errors (possible on odd-but-parseable edge cases) fall
+    back to an empty table — a missed suppression then surfaces as a
+    visible finding, never as a silently-muted one.
+    """
     table = Suppressions()
-    for lineno, text in enumerate(lines, start=1):
-        match = _NOQA_RE.search(text)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
         if match is None:
             continue
         raw = match.group("codes")
         if raw is None:
-            table.add(lineno, None)
+            codes: tuple[str, ...] | None = None
         else:
-            codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
-            table.add(lineno, codes or None)
+            parsed = tuple(
+                sorted(
+                    {c.strip().upper() for c in raw.split(",") if c.strip()}
+                )
+            )
+            codes = parsed or None
+        line, comment_col = tok.start
+        table.add(
+            Marker(
+                line=line,
+                codes=codes,
+                col=comment_col + match.start(),
+                end_col=comment_col + match.end(),
+            )
+        )
     return table
 
 
@@ -73,3 +126,87 @@ def apply_suppressions(
 ) -> list[Finding]:
     """Drop findings muted by the module's suppression table."""
     return [f for f in findings if not table.suppresses(f)]
+
+
+def _removal_fix(ctx: ModuleContext, marker: Marker) -> Fix:
+    """Delete the marker (and any annotation after it) through EOL.
+
+    The marker starts at its own ``#``, so cutting to end-of-line can
+    never orphan trailing prose outside a comment.
+    """
+    text = ctx.lines[marker.line - 1]
+    start = marker.col
+    while start > 0 and text[start - 1] in " \t":
+        start -= 1
+    return Fix(
+        edits=(Edit(marker.line, start, len(text), ""),),
+    )
+
+
+def _rewrite_fix(
+    ctx: ModuleContext, marker: Marker, keep: tuple[str, ...]
+) -> Fix:
+    """Rewrite the marker's code list to ``keep`` (drop unknown codes)."""
+    if not keep:
+        return _removal_fix(ctx, marker)
+    replacement = f"# repro: noqa[{','.join(keep)}]"
+    return Fix(
+        edits=(Edit(marker.line, marker.col, marker.end_col, replacement),),
+    )
+
+
+def suppression_hygiene(
+    rule: Rule,
+    ctx: ModuleContext,
+    table: Suppressions,
+    *,
+    known_codes: frozenset[str],
+    check_unused: bool,
+) -> list[Finding]:
+    """RL007: flag markers that are dead or name unknown rule codes.
+
+    Per marker, at most one finding is emitted (unused subsumes
+    unknown-codes), so one ``--fix`` pass converges.  ``check_unused``
+    is only set on full-rule-set runs: under ``--select`` a marker for
+    an unselected rule would look spuriously dead.  RL007 findings are
+    themselves exempt from suppression — a stale marker must be
+    deleted, not suppressed by another marker.
+    """
+    findings: list[Finding] = []
+    for marker in sorted(table.markers, key=lambda m: (m.line, m.col)):
+        unused = check_unused and marker.line not in table.used
+        if unused:
+            what = (
+                "blanket suppression"
+                if marker.codes is None
+                else f"suppression of {', '.join(marker.codes)}"
+            )
+            findings.append(
+                rule.finding(
+                    ctx,
+                    marker.line,
+                    marker.col,
+                    f"{what} suppresses nothing on this line; "
+                    "remove the stale `# repro: noqa` marker",
+                    fix=_removal_fix(ctx, marker),
+                )
+            )
+            continue
+        if marker.codes is not None:
+            unknown = tuple(
+                c for c in marker.codes if c not in known_codes
+            )
+            if unknown:
+                keep = tuple(c for c in marker.codes if c in known_codes)
+                findings.append(
+                    rule.finding(
+                        ctx,
+                        marker.line,
+                        marker.col,
+                        "suppression names unknown rule code(s) "
+                        f"{', '.join(unknown)}; a typo here masks "
+                        "nothing today and real regressions tomorrow",
+                        fix=_rewrite_fix(ctx, marker, keep),
+                    )
+                )
+    return findings

@@ -1,0 +1,347 @@
+"""Project-level analysis context: symbol tables, imports, call graph.
+
+The per-module rules (RL001–RL006) are deliberately local — one AST,
+one pass.  The flow rules (RL100–RL103) need to answer *whole-program*
+questions: does this call site's generator trace back to an explicit
+``rng=`` parameter?  Is the callable handed to the process pool a
+module-level function?  Can ``cache.keys`` fingerprinting reach a
+function that reads ambient state?  :class:`ProjectContext` parses the
+tree **once** into:
+
+* per-module **symbol tables** — top-level functions and classes with
+  their signatures (:class:`FuncSymbol`, :class:`ClassSymbol`);
+* an **import graph** — which project modules each module imports;
+* an approximate **call graph** — resolved edges from each function to
+  the project functions it calls.
+
+Resolution stays syntactic, like :class:`~repro.lint.context
+.ModuleContext`: import aliases are followed, dynamic dispatch is not.
+Module identity is path-based (``src/repro/cache/keys.py`` →
+``src.repro.cache.keys``) and lookups match by dotted *suffix*, so the
+same analysis works on the installed package, on ``src/`` checkouts and
+on synthetic fixture trees in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule
+
+__all__ = [
+    "FuncSymbol",
+    "ClassSymbol",
+    "ModuleSymbols",
+    "CallSite",
+    "ProjectContext",
+    "ProjectRule",
+    "build_project",
+]
+
+
+@dataclass(frozen=True)
+class FuncSymbol:
+    """Signature-level view of one function or method definition."""
+
+    name: str
+    qualname: str  # e.g. "TitanStudy.fig2" or "dataset_key"
+    lineno: int
+    params: tuple[str, ...]  # positional (posonly + regular), in order
+    kwonly: tuple[str, ...]
+    n_defaults: int  # defaults covering the *tail* of ``params``
+    kwonly_defaults: frozenset[str]  # kwonly params that have defaults
+    has_vararg: bool
+    has_kwarg: bool
+    is_toplevel: bool
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(compare=False, repr=False)
+
+    def required_positional_index(self, param: str) -> int | None:
+        """Index of ``param`` among positionals if it has no default."""
+        if param not in self.params:
+            return None
+        idx = self.params.index(param)
+        if idx >= len(self.params) - self.n_defaults:
+            return None  # covered by a default
+        return idx
+
+    def requires_kwonly(self, param: str) -> bool:
+        return param in self.kwonly and param not in self.kwonly_defaults
+
+
+@dataclass(frozen=True)
+class ClassSymbol:
+    """One top-level class and its method table."""
+
+    name: str
+    lineno: int
+    methods: dict[str, FuncSymbol] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class ModuleSymbols:
+    """Top-level symbol table of one module."""
+
+    functions: dict[str, FuncSymbol]
+    classes: dict[str, ClassSymbol]
+    assigned_names: frozenset[str]  # module-level variable bindings
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a known function (or module) scope."""
+
+    module: str  # dotted module id of the caller
+    scope: str  # caller qualname, "" for module scope
+    node: ast.Call = field(compare=False, repr=False)
+    resolved: str | None  # dotted name per ModuleContext.resolve
+
+
+def _func_symbol(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    *,
+    is_toplevel: bool,
+) -> FuncSymbol:
+    a = node.args
+    params = tuple(p.arg for p in (*a.posonlyargs, *a.args))
+    kwonly = tuple(p.arg for p in a.kwonlyargs)
+    kw_defaults = frozenset(
+        p.arg for p, d in zip(a.kwonlyargs, a.kw_defaults) if d is not None
+    )
+    return FuncSymbol(
+        name=node.name,
+        qualname=qualname,
+        lineno=node.lineno,
+        params=params,
+        kwonly=kwonly,
+        n_defaults=len(a.defaults),
+        kwonly_defaults=kw_defaults,
+        has_vararg=a.vararg is not None,
+        has_kwarg=a.kwarg is not None,
+        is_toplevel=is_toplevel,
+        node=node,
+    )
+
+
+def _collect_symbols(tree: ast.Module) -> ModuleSymbols:
+    functions: dict[str, FuncSymbol] = {}
+    classes: dict[str, ClassSymbol] = {}
+    assigned: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = _func_symbol(
+                node, node.name, is_toplevel=True
+            )
+        elif isinstance(node, ast.ClassDef):
+            methods: dict[str, FuncSymbol] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = _func_symbol(
+                        item, f"{node.name}.{item.name}", is_toplevel=False
+                    )
+            classes[node.name] = ClassSymbol(
+                name=node.name, lineno=node.lineno, methods=methods
+            )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        assigned.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            assigned.add(node.target.id)
+    return ModuleSymbols(
+        functions=functions,
+        classes=classes,
+        assigned_names=frozenset(assigned),
+    )
+
+
+def _module_id(ctx: ModuleContext) -> str:
+    """Path-derived dotted module id (``src/pkg/mod.py`` → ``src.pkg.mod``)."""
+    parts = list(ctx.path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p not in ("/", ""))
+
+
+class ProjectContext:
+    """Everything the flow rules need, built once per lint run."""
+
+    def __init__(self, contexts: dict[str, ModuleContext]) -> None:
+        #: dotted module id -> per-module AST context
+        self.modules: dict[str, ModuleContext] = contexts
+        #: dotted module id -> symbol table
+        self.symbols: dict[str, ModuleSymbols] = {
+            mod: _collect_symbols(ctx.tree) for mod, ctx in contexts.items()
+        }
+        #: dotted module id -> project module ids it imports from
+        self.import_graph: dict[str, frozenset[str]] = {}
+        #: (module, qualname) -> resolved project callees (module, qualname)
+        self.call_graph: dict[tuple[str, str], frozenset[tuple[str, str]]] = {}
+        #: every call expression, by caller scope
+        self.calls: dict[tuple[str, str], tuple[CallSite, ...]] = {}
+        self._build_graphs()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_graphs(self) -> None:
+        for mod, ctx in sorted(self.modules.items()):
+            imported: set[str] = set()
+            for origin in ctx.aliases.values():
+                target = self.find_module(origin)
+                if target is not None:
+                    imported.add(target)
+                else:
+                    owner = self.find_symbol_module(origin)
+                    if owner is not None:
+                        imported.add(owner)
+            self.import_graph[mod] = frozenset(imported - {mod})
+            for scope, calls in self._scope_calls(mod, ctx):
+                self.calls[(mod, scope)] = calls
+                edges: set[tuple[str, str]] = set()
+                for site in calls:
+                    resolved = self.resolve_function(mod, site.node.func)
+                    if resolved is not None:
+                        edges.add(resolved[:2])
+                self.call_graph[(mod, scope)] = frozenset(edges)
+
+    def _scope_calls(
+        self, mod: str, ctx: ModuleContext
+    ) -> Iterator[tuple[str, tuple[CallSite, ...]]]:
+        """Yield (scope qualname, calls) pairs, including module scope."""
+
+        def calls_under(node: ast.AST, scope: str) -> tuple[CallSite, ...]:
+            out = []
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    out.append(
+                        CallSite(
+                            module=mod,
+                            scope=scope,
+                            node=sub,
+                            resolved=ctx.resolve(sub.func),
+                        )
+                    )
+            return tuple(out)
+
+        table = self.symbols[mod]
+        seen: set[int] = set()
+        for fn in table.functions.values():
+            seen.add(id(fn.node))
+            yield fn.qualname, calls_under(fn.node, fn.qualname)
+        for cls in table.classes.values():
+            for meth in cls.methods.values():
+                seen.add(id(meth.node))
+                yield meth.qualname, calls_under(meth.node, meth.qualname)
+        # Module scope: everything not inside a collected def.
+        module_calls = []
+        for node in ctx.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            module_calls.extend(calls_under(node, ""))
+        yield "", tuple(module_calls)
+
+    # -- lookups -----------------------------------------------------------
+
+    def find_module(self, dotted: str) -> str | None:
+        """Project module whose id equals or suffix-matches ``dotted``."""
+        if dotted in self.modules:
+            return dotted
+        suffix = "." + dotted
+        matches = [m for m in self.modules if m.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def find_symbol_module(self, dotted: str) -> str | None:
+        """Module owning symbol ``pkg.mod.name`` (strips one component)."""
+        if "." not in dotted:
+            return None
+        mod_part, _sym = dotted.rsplit(".", 1)
+        return self.find_module(mod_part)
+
+    def lookup_function(
+        self, module: str, name: str
+    ) -> FuncSymbol | None:
+        table = self.symbols.get(module)
+        if table is None:
+            return None
+        return table.functions.get(name)
+
+    def resolve_function(
+        self, caller_module: str, func: ast.expr
+    ) -> tuple[str, str, FuncSymbol] | None:
+        """Resolve a call target to a project (module, qualname, symbol).
+
+        Handles bare names (same-module or imported top-level functions)
+        and ``mod.func`` attribute calls through import aliases.  Methods
+        and anything dynamic resolve to ``None`` — the call graph is a
+        deliberate under-approximation.
+        """
+        ctx = self.modules[caller_module]
+        if isinstance(func, ast.Name):
+            local = self.lookup_function(caller_module, func.id)
+            if local is not None and func.id not in ctx.aliases:
+                return caller_module, local.qualname, local
+        dotted = ctx.resolve(func)
+        if dotted is None or "." not in dotted:
+            return None
+        mod_part, sym = dotted.rsplit(".", 1)
+        owner = self.find_module(mod_part)
+        if owner is None:
+            # ``from pkg.mod import func`` resolves to pkg.mod.func where
+            # pkg.mod is the module; but ``from pkg import mod`` then
+            # ``mod.helper`` gives pkg.mod.helper too — both land here.
+            return None
+        target = self.lookup_function(owner, sym)
+        if target is None:
+            return None
+        return owner, target.qualname, target
+
+    def reachable_from(
+        self, roots: set[tuple[str, str]]
+    ) -> set[tuple[str, str]]:
+        """Transitive closure of ``roots`` over the call graph."""
+        seen: set[tuple[str, str]] = set()
+        stack = sorted(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for callee in sorted(self.call_graph.get(node, frozenset())):
+                if callee not in seen:
+                    stack.append(callee)
+        return seen
+
+
+def build_project(contexts: Iterator[ModuleContext] | list[ModuleContext]) -> ProjectContext:
+    """Build a :class:`ProjectContext` from parsed module contexts."""
+    return ProjectContext({_module_id(ctx): ctx for ctx in contexts})
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole project instead of one module.
+
+    Subclasses implement :meth:`check_project`; the per-module
+    :meth:`check` hook is a no-op so project rules compose with the
+    existing engine/selection machinery unchanged.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings over the whole project."""

@@ -13,7 +13,7 @@ from collections.abc import Iterator
 from typing import ClassVar, TypeVar
 
 from repro.lint.context import ModuleContext
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Finding, Fix, Severity
 
 __all__ = ["Rule", "register", "all_rules", "get_rule", "resolve_selection"]
 
@@ -45,7 +45,12 @@ class Rule(abc.ABC):
         """Yield findings for this rule over one module."""
 
     def finding(
-        self, ctx: ModuleContext, line: int, col: int, message: str
+        self,
+        ctx: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        fix: Fix | None = None,
     ) -> Finding:
         """Helper constructing a Finding stamped with this rule's code."""
         return Finding(
@@ -55,6 +60,7 @@ class Rule(abc.ABC):
             code=self.code,
             message=message,
             severity=self.severity,
+            fix=fix,
         )
 
 

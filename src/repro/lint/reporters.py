@@ -1,31 +1,48 @@
-"""Human and JSON renderings of a :class:`LintResult`.
+"""Human, JSON and SARIF renderings of a :class:`LintResult`.
 
-The JSON schema (version 1) is stable and consumed by CI::
+The JSON schema (version 2) is stable and consumed by CI::
 
     {
-      "version": 1,
+      "version": 2,
       "files_checked": 42,
       "rules": ["RL001", ...],
       "findings": [
         {"path": ..., "line": ..., "col": ..., "rule": ...,
-         "severity": "error"|"warning", "message": ...},
+         "severity": "error"|"warning", "message": ..., "fixable": bool},
         ...
       ],
       "counts": {"RL001": 2, ...},
       "ok": false
     }
+
+(v2 added the per-finding ``fixable`` flag; everything else is the v1
+shape.)  ``render_sarif`` emits SARIF 2.1.0 for GitHub code scanning:
+one run, one ``tool.driver`` named ``repro-lint`` carrying the rule
+catalog, one ``result`` per finding with a 1-based region.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Any
 
 from repro.lint.engine import LintResult
+from repro.lint.findings import Finding, Severity
 from repro.lint.registry import all_rules
 
-__all__ = ["render_human", "render_json", "render_rule_list", "JSON_SCHEMA_VERSION"]
+__all__ = [
+    "render_human",
+    "render_json",
+    "render_sarif",
+    "render_rule_list",
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_human(result: LintResult) -> str:
@@ -37,6 +54,9 @@ def render_human(result: LintResult) -> str:
     )
     if counts:
         summary += " — " + ", ".join(f"{k}×{v}" for k, v in counts.items())
+    fixable = len(result.fixable())
+    if fixable:
+        summary += f" ({fixable} fixable with --fix)"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -52,6 +72,70 @@ def render_json(result: LintResult) -> str:
         "ok": result.ok,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_result(finding: Finding) -> dict[str, Any]:
+    return {
+        "ruleId": finding.code,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; findings are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document for code-scanning upload."""
+    selected = set(result.rule_codes)
+    rules = [
+        {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.name.replace("-", " ")},
+            "fullDescription": {"text": cls.rationale},
+            "defaultConfiguration": {
+                "level": _sarif_level(cls.severity)
+            },
+        }
+        for cls in all_rules()
+        if not selected or cls.code in selected
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINT.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(f) for f in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def render_rule_list() -> str:

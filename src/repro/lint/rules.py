@@ -1,19 +1,21 @@
-"""The initial rule set: RL001–RL006.
+"""The per-module rule set: RL001–RL007.
 
 Every rule enforces an invariant the study's evidentiary chain depends
 on (see ``docs/LINT.md`` for the full rationale of each).  The common
 theme is *machine-checked determinism*: the same root seed must always
 yield the same synthetic Titan, or the calibration against the paper's
-Figs. 2–21 and Observations 1–14 is meaningless.
+Figs. 2–21 and Observations 1–14 is meaningless.  The project-level
+flow rules (RL100–RL103) live in :mod:`repro.lint.flow`.
 """
 
 from __future__ import annotations
 
 import ast
 from collections.abc import Iterator
+from typing import ClassVar
 
 from repro.lint.context import ModuleContext
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Edit, Finding, Fix, Severity
 from repro.lint.registry import Rule, register
 
 __all__ = [
@@ -23,6 +25,7 @@ __all__ = [
     "BuiltinHashRule",
     "UnknownXidRule",
     "MagicDurationRule",
+    "UnusedSuppressionRule",
 ]
 
 
@@ -402,4 +405,61 @@ class MagicDurationRule(Rule):
                     node.lineno,
                     node.col_offset,
                     f"magic duration {value!r}; use repro.units.{helper}",
+                    fix=self._fix(node, helper),
                 )
+
+    @staticmethod
+    def _fix(node: ast.Constant, helper: str) -> Fix | None:
+        """Replace the literal with the units helper, importing it.
+
+        Only single-line literals are mechanically fixable (numeric
+        constants always are in practice); anything else stays a
+        report-only finding.
+        """
+        if node.end_lineno != node.lineno or node.end_col_offset is None:
+            return None  # pragma: no cover - numeric literals are one-line
+        return Fix(
+            edits=(
+                Edit(
+                    node.lineno,
+                    node.col_offset,
+                    node.end_col_offset,
+                    helper,
+                ),
+            ),
+            ensure_import=f"repro.units:{helper}",
+        )
+
+
+# --------------------------------------------------------------------------
+# RL007 — unused / unknown suppressions
+# --------------------------------------------------------------------------
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """RL007: every ``# repro: noqa`` must suppress something real.
+
+    This rule is driven by the engine (it needs to know which markers
+    were *used* after all other rules ran), so :meth:`check` is empty;
+    the logic lives in :func:`repro.lint.noqa.suppression_hygiene`.
+    """
+
+    code = "RL007"
+    name = "unused-suppression"
+    severity = Severity.WARNING
+    rationale = (
+        "A `# repro: noqa[...]` that suppresses nothing, or names a "
+        "rule code that does not exist, is a latent mute button: the "
+        "next real violation on that line vanishes without review. "
+        "Dead markers are findings themselves and are mechanically "
+        "removed by --fix. (The unused check runs only on full-rule "
+        "runs; under --select a marker for an unselected rule would "
+        "look spuriously dead.)"
+    )
+
+    #: Consulted by the engine, not run per-module.
+    engine_driven: ClassVar[bool] = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
