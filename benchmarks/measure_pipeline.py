@@ -15,12 +15,21 @@ docs/PERFORMANCE.md): the warm run must be at least ``--min-speedup``
 be line-identical to the cold run's (the cache may only ever buy time,
 never change an answer).  Exit code 0 iff both hold.
 
+The cold run is profiled through :mod:`repro.perf`, so the emitted
+document carries a per-stage wall-time breakdown (``stages_s``) next to
+the end-to-end timings, plus a ``gate`` section: the smoke-scenario
+cold budget that CI's perf gate enforces.  ``--gate`` re-runs just the
+smoke cold pipeline and fails if its wall time regresses more than the
+gate tolerance (default 25 %) over the committed budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/measure_pipeline.py --days 45
     PYTHONPATH=src python benchmarks/measure_pipeline.py --full
+    PYTHONPATH=src python benchmarks/measure_pipeline.py --gate
 
-Results land in ``BENCH_pipeline.json`` at the repository root.
+Results land in ``BENCH_pipeline.json`` at the repository root
+(``--gate`` only reads it).
 """
 
 from __future__ import annotations
@@ -37,16 +46,80 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro import perf  # noqa: E402
 from repro.cli import main as cli_main  # noqa: E402
 
+#: Smoke-scenario definition the CI perf gate times (kept independent of
+#: the benched scenario so a ``--full`` regeneration still carries a
+#: cheap gate budget).
+GATE_DAYS = 45.0
+GATE_TOLERANCE = 0.25
 
-def _timed(argv: list[str]) -> tuple[float, int, str]:
-    """(seconds, exit code, captured stdout) of one CLI invocation."""
+
+def _timed(argv: list[str], *, profile: bool = False) -> tuple[float, int, str]:
+    """(seconds, exit code, captured stdout) of one CLI invocation.
+
+    With ``profile=True`` the run executes under an enabled
+    :mod:`repro.perf` registry; read the breakdown from
+    ``perf.snapshot()`` afterwards.
+    """
     buf = io.StringIO()
+    if profile:
+        perf.reset()
+        perf.enable()
     t0 = time.perf_counter()
-    with contextlib.redirect_stdout(buf):
-        rc = cli_main(argv)
+    try:
+        with contextlib.redirect_stdout(buf):
+            rc = cli_main(argv)
+    finally:
+        if profile:
+            perf.disable()
     return time.perf_counter() - t0, rc, buf.getvalue()
+
+
+def _stage_seconds() -> dict[str, float]:
+    """Per-stage seconds from the last profiled run, rounded for JSON."""
+    stages = perf.snapshot()["stages"]
+    return {name: round(stat["seconds"], 3) for name, stat in stages.items()}
+
+
+def _gate_argv(gate: dict) -> list[str]:
+    return [
+        "observations",
+        "--days", str(gate["days"]),
+        "--seed", str(gate["seed"]),
+        "--no-cache",
+    ]
+
+
+def run_gate(out: Path) -> int:
+    """CI perf gate: fail if the smoke cold run regresses past budget."""
+    if not out.exists():
+        print(f"gate: no committed benchmark at {out}", file=sys.stderr)
+        return 2
+    doc = json.loads(out.read_text())
+    gate = doc.get("gate")
+    if not gate:
+        print(f"gate: {out} has no gate section; regenerate it",
+              file=sys.stderr)
+        return 2
+    budget = float(gate["cold_budget_s"])
+    tolerance = float(gate.get("tolerance", GATE_TOLERANCE))
+    limit = budget * (1.0 + tolerance)
+    cold_s, rc, _out_text = _timed(_gate_argv(gate), profile=True)
+    print(f"gate: smoke cold {cold_s:.2f} s "
+          f"(budget {budget:.2f} s, limit {limit:.2f} s, rc={rc})")
+    if rc != 0:
+        print("gate: FAIL (pipeline exited non-zero)")
+        return 1
+    if cold_s > limit:
+        print(f"gate: FAIL (regressed {cold_s / budget - 1.0:+.0%}, "
+              f"allowed +{tolerance:.0%}); per-stage breakdown:")
+        for name, seconds in _stage_seconds().items():
+            print(f"  {name:<20} {seconds:8.3f} s")
+        return 1
+    print("gate: OK")
+    return 0
 
 
 def _analysis_lines(text: str) -> list[str]:
@@ -64,19 +137,36 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-speedup", type=float, default=3.0,
                     help="required cold/warm ratio (exit 1 below this)")
     ap.add_argument("--out", type=Path, default=ROOT / "BENCH_pipeline.json")
+    ap.add_argument("--gate", action="store_true",
+                    help="CI mode: time the smoke cold run against the "
+                         "committed gate budget instead of regenerating")
     args = ap.parse_args(argv)
+
+    if args.gate:
+        return run_gate(args.out)
 
     scenario = ["--full"] if args.full else ["--days", str(args.days)]
     base = ["observations", *scenario, "--seed", str(args.seed)]
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         store = ["--cache-dir", str(Path(tmp) / "store")]
-        cold_s, cold_rc, cold_out = _timed([*base, "--no-cache"])
+        cold_s, cold_rc, cold_out = _timed([*base, "--no-cache"], profile=True)
+        stages_s = _stage_seconds()
         print(f"cold (no cache)      {cold_s:8.2f} s  rc={cold_rc}")
         persist_s, persist_rc, persist_out = _timed([*base, *store])
         print(f"cold + persist       {persist_s:8.2f} s  rc={persist_rc}")
         warm_s, warm_rc, warm_out = _timed([*base, *store])
         print(f"warm (store hit)     {warm_s:8.2f} s  rc={warm_rc}")
+
+    # The gate budget is always the smoke scenario: reuse the cold run
+    # when that is what we just timed, otherwise time it separately so a
+    # --full regeneration still refreshes the CI budget.
+    if not args.full and args.days == GATE_DAYS:
+        gate_cold_s = cold_s
+    else:
+        gate = {"days": GATE_DAYS, "seed": args.seed}
+        gate_cold_s, _gate_rc, _gate_out = _timed(_gate_argv(gate))
+        print(f"gate smoke cold      {gate_cold_s:8.2f} s")
 
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     identical = (
@@ -97,6 +187,15 @@ def main(argv: list[str] | None = None) -> int:
             "cold_no_cache": round(cold_s, 3),
             "cold_persist": round(persist_s, 3),
             "warm": round(warm_s, 3),
+        },
+        "stages_s": stages_s,
+        "gate": {
+            "days": GATE_DAYS,
+            "seed": args.seed,
+            "cold_budget_s": round(gate_cold_s, 3),
+            "tolerance": GATE_TOLERANCE,
+            "check_with": "PYTHONPATH=src python benchmarks/measure_pipeline.py"
+                          " --gate",
         },
         "speedup_cold_over_warm": round(speedup, 2),
         "min_speedup_required": args.min_speedup,

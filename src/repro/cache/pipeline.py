@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional, Union
 
+from repro import perf
 from repro.cache.keys import PIPELINE_EPOCH, dataset_key
 from repro.cache.store import ArtifactStore
 
@@ -253,8 +254,9 @@ def persist_dataset(
         "jobsnap": dataset.jobsnap_records,
         "trace": dataset.trace,
     }
-    for layer, kind in DATASET_LAYERS:
-        store.put(_layer_key(dkey, layer), layers[layer], kind)
+    with perf.stage("cache.persist"):
+        for layer, kind in DATASET_LAYERS:
+            store.put(_layer_key(dkey, layer), layers[layer], kind)
     return dkey
 
 
@@ -272,11 +274,12 @@ def load_dataset(
     """
     dkey = dataset_key(scenario, epoch=epoch)
     decoded: dict[str, Any] = {}
-    for layer, _kind in DATASET_LAYERS:
-        obj = store.get(_layer_key(dkey, layer))
-        if obj is None:
-            return None
-        decoded[layer] = obj
+    with perf.stage("cache.load"):
+        for layer, _kind in DATASET_LAYERS:
+            obj = store.get(_layer_key(dkey, layer))
+            if obj is None:
+                return None
+            decoded[layer] = obj
     return CachedDataset(
         scenario,
         console_text=decoded["console"],

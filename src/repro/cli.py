@@ -12,6 +12,7 @@ Commands
 ``degradation``   corruption sweep: at what damage level do findings flip?
 ``lint``          AST determinism/invariant linter over the source tree
 ``cache``         artifact-store maintenance (``info``/``clear``/``evict``)
+``profile``       per-stage wall-time breakdown of one cold pipeline run
 
 Every analysis command accepts ``--seed`` and ``--cache-dir``: with a
 cache directory (or ``$REPRO_CACHE_DIR``), the simulated dataset's
@@ -168,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.cache.cli import add_cache_arguments
 
     add_cache_arguments(p_cache)
+
+    p_prof = sub.add_parser(
+        "profile", help="per-stage wall-time breakdown of a cold pipeline run"
+    )
+    _add_common(p_prof)
+    from repro.perf.cli import add_profile_arguments
+
+    add_profile_arguments(p_prof)
     return parser
 
 
@@ -388,6 +397,13 @@ def cmd_cache(args) -> int:
     return _cmd_cache(args)
 
 
+def cmd_profile(args) -> int:
+    """Stage-level pipeline profiling (see :mod:`repro.perf.cli`)."""
+    from repro.perf.cli import cmd_profile as _cmd_profile
+
+    return _cmd_profile(args)
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "figures": cmd_figures,
@@ -398,6 +414,7 @@ _COMMANDS = {
     "degradation": cmd_degradation,
     "lint": cmd_lint,
     "cache": cmd_cache,
+    "profile": cmd_profile,
 }
 
 

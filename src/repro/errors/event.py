@@ -243,6 +243,96 @@ class EventLogBuilder:
         self._rows["aux"].append(int(aux))
         return len(self._rows["time"]) - 1
 
+    def append_raw(
+        self,
+        time: float,
+        gpu: int,
+        etype_code: int,
+        structure_code: int = -1,
+        job: int = -1,
+        aux: int = -1,
+        parent: int = -1,
+    ) -> int:
+        """Trusted-type fast append (parser hot path).
+
+        Like :meth:`add` but takes the already-encoded column values —
+        no enum/structure lookups, no defensive conversions.  Callers
+        own the invariants (``etype_code``/``structure_code`` valid,
+        ints actually ints); the telemetry parser's fast path is the
+        intended user.
+        """
+        rows = self._rows
+        rows["time"].append(time)
+        rows["gpu"].append(gpu)
+        rows["etype"].append(etype_code)
+        rows["structure"].append(structure_code)
+        rows["job"].append(job)
+        rows["parent"].append(parent)
+        rows["aux"].append(aux)
+        return len(rows["time"]) - 1
+
+    def raw_columns(self) -> dict[str, list]:
+        """The live column lists, for trusted bulk appenders.
+
+        The parser's hot loop binds each column's ``append`` once and
+        pushes already-encoded values directly, skipping the per-call
+        overhead of :meth:`append_raw`.  Callers own the invariant that
+        every column receives the same number of values.
+        """
+        return self._rows
+
+    def add_children(
+        self,
+        times: np.ndarray,
+        gpus: np.ndarray,
+        etype: ErrorType,
+        *,
+        job: int = -1,
+        parent: int = -1,
+    ) -> None:
+        """Bulk-append same-type child events sharing one job/parent tag.
+
+        Vectorized counterpart of calling :meth:`add` once per child
+        with scalar ``job``/``parent`` — used by the cascade echo
+        fan-out, where a single parent spawns a child on every other
+        GPU of its job allocation.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        gpus = np.asarray(gpus, dtype=np.int64)
+        if times.shape != gpus.shape:
+            raise ValueError("times and gpus must have matching shapes")
+        n = times.shape[0]
+        rows = self._rows
+        rows["time"].extend(times.tolist())
+        rows["gpu"].extend(gpus.tolist())
+        rows["etype"].extend([etype.code] * n)
+        rows["structure"].extend([-1] * n)
+        rows["job"].extend([int(job)] * n)
+        rows["parent"].extend([int(parent)] * n)
+        rows["aux"].extend([-1] * n)
+
+    def extend_unsorted(self, log: EventLog) -> None:
+        """Bulk-append every row of ``log``, values and order preserved.
+
+        This is the bulk counterpart of re-adding a log row by row
+        (which costs one Python call plus per-field conversions per
+        event): all seven columns are extended in one shot.  ``parent``
+        indices are copied verbatim, so they stay valid only if
+        ``log``'s rows land at the same offsets — i.e. extend into an
+        empty builder (the cascade re-add) or treat parents as opaque.
+        No ordering is maintained; finalize with one
+        ``freeze().sorted_by_time()`` instead of keeping the rows
+        sorted incrementally.
+        """
+        rows = self._rows
+        rows["time"].extend(log.time.tolist())
+        rows["gpu"].extend(log.gpu.tolist())
+        rows["etype"].extend(log.etype.tolist())
+        rows["structure"].extend(log.structure.tolist())
+        rows["job"].extend(log.job.tolist())
+        rows["parent"].extend(log.parent.tolist())
+        rows["aux"].extend(log.aux.tolist())
+
     def add_many(
         self,
         times: np.ndarray,

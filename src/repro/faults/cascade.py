@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors.event import EventLog, EventLogBuilder, STRUCTURE_CODES
+from repro.errors.event import EventLog, EventLogBuilder
 from repro.errors.xid import ErrorType, from_code
 from repro.faults.rates import RateConfig
 from repro.workload.lookup import JobLocator
@@ -70,17 +70,9 @@ class CascadeModel:
         """Return a new log: all parent rows (indices preserved) plus
         generated children, sorted by time at the end by the caller."""
         builder = EventLogBuilder()
-        # Re-add parents verbatim so child parent-indices are valid.
-        for i in range(len(parents)):
-            builder.add(
-                float(parents.time[i]),
-                int(parents.gpu[i]),
-                from_code(int(parents.etype[i])),
-                structure=_structure_of(parents, i),
-                job=int(parents.job[i]),
-                parent=int(parents.parent[i]),
-                aux=int(parents.aux[i]),
-            )
+        # Re-add parents verbatim (bulk column extend — the builder is
+        # empty, so row offsets and hence child parent-indices are valid).
+        builder.extend_unsorted(parents)
         for i in range(len(parents)):
             self._expand_one(parents, i, builder, locator)
         return builder.freeze()
@@ -108,10 +100,11 @@ class CascadeModel:
                 delays = self.rng.uniform(
                     0.2, rates.job_echo_window_s, size=others.size
                 )
-                for other, d in zip(others, delays):
-                    builder.add(
-                        t + float(d), int(other), etype, job=job, parent=i
-                    )
+                # Echo fan-out dominates the child count (one child per
+                # allocated GPU); bulk-append instead of per-child add.
+                builder.add_children(
+                    t + delays, others, etype, job=job, parent=i
+                )
 
         # DBE → preemptive cleanup + (retirement handled by hardware injector).
         if etype is ErrorType.DBE:
@@ -152,13 +145,3 @@ class CascadeModel:
             while self.rng.random() < rates.p_same_type_repeat:
                 t = t + float(self.rng.exponential(rates.same_type_repeat_delay_s)) + 0.5
                 builder.add(t, gpu, etype, job=job, parent=i)
-
-
-def _structure_of(log: EventLog, i: int):
-    code = int(log.structure[i])
-    if code < 0:
-        return None
-    for structure, c in STRUCTURE_CODES.items():
-        if c == code:
-            return structure
-    return None

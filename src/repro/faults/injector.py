@@ -107,10 +107,13 @@ class FaultInjector:
         sbe_builder = EventLogBuilder()
         sbe_out: SbeOutcome = self.sbe.inject(trace, start, end, sbe_builder, locator)
 
-        merged = EventLog.concatenate([with_children, sbe_builder.freeze()])
+        merge = EventLogBuilder()
+        merge.extend_unsorted(with_children)
+        merge.extend_unsorted(sbe_builder.freeze())
         # Children of rows in `with_children` keep valid indices because
-        # concatenate appends the SBE rows *after* them; sort remaps all.
-        events = merged.sorted_by_time()
+        # the SBE rows extend *after* them; the single finalize sort
+        # remaps all parent indices.
+        events = merge.freeze().sorted_by_time()
 
         return InjectionResult(
             events=events,

@@ -1,0 +1,32 @@
+"""Stage-level profiling for the Titan reproduction pipeline.
+
+Public surface: :func:`stage` / :func:`count` hooks (zero-cost while
+disabled) threaded through the simulation, telemetry round trip and
+cache pipeline, plus the enable/snapshot controls the ``profile`` CLI
+command and ``benchmarks/measure_pipeline.py`` use to report per-stage
+breakdowns.
+"""
+
+from repro.perf.timers import (
+    PerfRegistry,
+    StageStat,
+    count,
+    disable,
+    enable,
+    is_enabled,
+    reset,
+    snapshot,
+    stage,
+)
+
+__all__ = [
+    "PerfRegistry",
+    "StageStat",
+    "count",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "snapshot",
+    "stage",
+]

@@ -24,15 +24,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro import perf
 from repro.errors.event import EventLog
 from repro.faults.injector import FaultInjector, InjectionResult
 from repro.gpu.fleet import GPUFleet
 from repro.rng import RngTree
 from repro.sim.scenario import Scenario
 from repro.telemetry.console import ConsoleLogWriter
+from repro.telemetry.parallel_parse import parse_text_parallel
 from repro.telemetry.jobsnap import JobSnapshotFramework, JobSnapshotRecord
 from repro.telemetry.nvsmi import NvidiaSmi
-from repro.telemetry.parser import ConsoleLogParser, ParseStats
+from repro.telemetry.parser import ParseStats
 from repro.telemetry.raslog import NodeStateLog, RepairModel
 from repro.topology.machine import TitanMachine
 from repro.topology.thermal import ThermalModel
@@ -68,6 +70,10 @@ class SimulationDataset:
     #: a modified stream must never be written back under the clean
     #: scenario's content address.
     provenance: str = "simulated"
+    #: Worker processes for console parsing (0/1 = serial in-process).
+    #: Output is byte-identical at any worker count; this only trades
+    #: wall time — see :mod:`repro.telemetry.parallel_parse`.
+    parse_workers: int = 0
     _console_text: Optional[str] = field(default=None, repr=False)
     _parsed: Optional[tuple[EventLog, ParseStats]] = field(default=None, repr=False)
     _nvsmi_table: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
@@ -81,8 +87,9 @@ class SimulationDataset:
     def console_text(self) -> str:
         """The rendered console log (lazily materialized)."""
         if self._console_text is None:
-            writer = ConsoleLogWriter(self.machine)
-            self._console_text = writer.to_text(self.injection.events)
+            with perf.stage("telemetry.render"):
+                writer = ConsoleLogWriter(self.machine)
+                self._console_text = writer.to_text(self.injection.events)
         return self._console_text
 
     @property
@@ -97,9 +104,15 @@ class SimulationDataset:
 
     def _parse(self) -> tuple[EventLog, ParseStats]:
         if self._parsed is None:
-            parser = ConsoleLogParser(self.machine)
-            log, stats = parser.parse_text(self.console_text)
-            self._parsed = (log.sorted_by_time(), stats)
+            text = self.console_text
+            with perf.stage("telemetry.parse"):
+                log, stats = parse_text_parallel(
+                    text, self.machine, n_workers=self.parse_workers
+                )
+            with perf.stage("telemetry.sort"):
+                self._parsed = (log.sorted_by_time(), stats)
+            perf.count("telemetry.lines", stats.total_lines)
+            perf.count("telemetry.events", stats.parsed_events)
         return self._parsed
 
     def with_console_text(
@@ -127,17 +140,19 @@ class SimulationDataset:
     def nvsmi_table(self) -> dict[str, np.ndarray]:
         """Fleet-wide nvidia-smi snapshot at end of study."""
         if self._nvsmi_table is None:
-            self._nvsmi_table = self.nvsmi.query_fleet()
+            with perf.stage("telemetry.nvsmi"):
+                self._nvsmi_table = self.nvsmi.query_fleet()
         return self._nvsmi_table
 
     @property
     def jobsnap_records(self) -> list[JobSnapshotRecord]:
         """Per-job before/after snapshot records (the Figs. 16–20 data)."""
         if self._jobsnap is None:
-            framework = JobSnapshotFramework(self.scenario.jobsnap_deployed_at)
-            self._jobsnap = framework.collect(
-                self.trace, self.injection.sbe_by_job
-            )
+            with perf.stage("telemetry.jobsnap"):
+                framework = JobSnapshotFramework(self.scenario.jobsnap_deployed_at)
+                self._jobsnap = framework.collect(
+                    self.trace, self.injection.sbe_by_job
+                )
         return self._jobsnap
 
     @property
@@ -172,42 +187,51 @@ class SimulationDataset:
 
 
 class TitanSimulation:
-    """Runs one scenario end to end."""
+    """Runs one scenario end to end.
 
-    def __init__(self, scenario: Scenario) -> None:
+    ``parse_workers`` is forwarded to the produced dataset's lazy
+    console parse (see :mod:`repro.telemetry.parallel_parse`); it never
+    changes results, only wall time.
+    """
+
+    def __init__(self, scenario: Scenario, *, parse_workers: int = 0) -> None:
         scenario.validate()
         self.scenario = scenario
+        self.parse_workers = int(parse_workers)
 
     def run(self) -> SimulationDataset:
         sc = self.scenario
         tree = RngTree(sc.seed)
-        machine = TitanMachine(folded_torus=sc.folded_torus)
-        thermal = ThermalModel(
-            machine.cage,
-            tree.fresh_generator("thermal"),
-            enabled=sc.rates.thermal_enabled,
-        )
-        fleet = GPUFleet(
-            machine.n_gpus,
-            tree.generator("fleet"),
-            retirement_active_from=sc.rates.retirement_active_from,
-        )
-        generator = WorkloadGenerator(
-            sc.workload, tree.fresh_generator("workload")
-        )
-        trace = generator.generate()
-        injector = FaultInjector(
-            machine,
-            fleet,
-            thermal,
-            generator.users,
-            sc.rates,
-            tree.fresh_generator("faults.hardware"),
-            tree.fresh_generator("faults.software"),
-            tree.fresh_generator("faults.sbe"),
-            tree.fresh_generator("faults.cascade"),
-        )
-        injection = injector.run(trace, sc.start, sc.end)
+        with perf.stage("sim.machine"):
+            machine = TitanMachine(folded_torus=sc.folded_torus)
+            thermal = ThermalModel(
+                machine.cage,
+                tree.fresh_generator("thermal"),
+                enabled=sc.rates.thermal_enabled,
+            )
+            fleet = GPUFleet(
+                machine.n_gpus,
+                tree.generator("fleet"),
+                retirement_active_from=sc.rates.retirement_active_from,
+            )
+        with perf.stage("sim.workload"):
+            generator = WorkloadGenerator(
+                sc.workload, tree.fresh_generator("workload")
+            )
+            trace = generator.generate()
+        with perf.stage("sim.inject"):
+            injector = FaultInjector(
+                machine,
+                fleet,
+                thermal,
+                generator.users,
+                sc.rates,
+                tree.fresh_generator("faults.hardware"),
+                tree.fresh_generator("faults.software"),
+                tree.fresh_generator("faults.sbe"),
+                tree.fresh_generator("faults.cascade"),
+            )
+            injection = injector.run(trace, sc.start, sc.end)
         nvsmi = NvidiaSmi(fleet, thermal)
         return SimulationDataset(
             scenario=sc,
@@ -218,6 +242,7 @@ class TitanSimulation:
             trace=trace,
             injection=injection,
             nvsmi=nvsmi,
+            parse_workers=self.parse_workers,
         )
 
 

@@ -19,8 +19,9 @@ from __future__ import annotations
 import io
 from collections.abc import Iterator
 
-from repro.errors.event import EventLog, structure_from_code
+from repro.errors.event import STRUCTURE_CODES, EventLog, structure_from_code
 from repro.errors.xid import ErrorType, from_code
+from repro.telemetry.timecodec import format_timestamps
 from repro.topology.machine import TitanMachine
 from repro.units import timestamp_to_datetime
 
@@ -77,14 +78,74 @@ def render_event_line(
     return line
 
 
+_SBE_CODE: int = ErrorType.SBE.code
+
+#: etype code → constant line-body head ("GPU XID n: phrase", or the
+#: bare off-the-bus phrase).  Covers every loggable type; SBE is absent
+#: on purpose (it is skipped, never rendered).
+_BODY_HEAD_BY_CODE: dict[int, str] = {
+    t.code: (
+        _PHRASES[t]
+        if t is ErrorType.OFF_THE_BUS
+        else f"GPU XID {t.xid}: {_PHRASES[t]}"
+    )
+    for t in _PHRASES
+}
+
+#: structure code → console structure name (``MemoryStructure.value``).
+_STRUCT_NAME_BY_CODE: list[str] = [
+    s.value for s, _ in sorted(STRUCTURE_CODES.items(), key=lambda kv: kv[1])
+]
+
+
 class ConsoleLogWriter:
-    """Streams an :class:`EventLog` out as Titan console-log text."""
+    """Streams an :class:`EventLog` out as Titan console-log text.
+
+    The hot path renders from precomputed tables (body heads per etype
+    code, structure names per code, the machine-wide cname table, and
+    the fixed-format timestamp codec); it is byte-identical to calling
+    :func:`render_event_line` per row, which remains as the verification
+    reference (see ``lines_reference``).
+    """
 
     def __init__(self, machine: TitanMachine) -> None:
         self.machine = machine
 
     def lines(self, events: EventLog) -> Iterator[str]:
         """Yield one log line per loggable event, in log order."""
+        heads = _BODY_HEAD_BY_CODE
+        struct_names = _STRUCT_NAME_BY_CODE
+        cnames = self.machine.cname_table()
+        # All stamps render in one vectorized pass (SBE rows included —
+        # skipping them afterwards is cheaper than masking first).
+        stamps = format_timestamps(events.time)
+        for stamp, gpu, ecode, scode, job, aux in zip(
+            stamps,
+            events.gpu.tolist(),
+            events.etype.tolist(),
+            events.structure.tolist(),
+            events.job.tolist(),
+            events.aux.tolist(),
+        ):
+            if ecode == _SBE_CODE:
+                continue
+            body = heads[ecode]
+            if scode >= 0:
+                if aux >= 0:
+                    body = f"{body} in {struct_names[scode]} page 0x{aux:06x}"
+                else:
+                    body = f"{body} in {struct_names[scode]}"
+            if job >= 0:
+                yield f"{stamp} {cnames[gpu]} {body} [job={job}]"
+            else:
+                yield f"{stamp} {cnames[gpu]} {body}"
+
+    def lines_reference(self, events: EventLog) -> Iterator[str]:
+        """Per-row reference rendering via :func:`render_event_line`.
+
+        Kept (and exercised by the tests) to pin the fast path's output;
+        use :meth:`lines` everywhere else.
+        """
         for i in range(len(events)):
             etype = from_code(int(events.etype[i]))
             if etype is ErrorType.SBE:
@@ -109,6 +170,8 @@ class ConsoleLogWriter:
         return n
 
     def to_text(self, events: EventLog) -> str:
-        buf = io.StringIO()
-        self.write(events, buf)
-        return buf.getvalue()
+        parts = list(self.lines(events))
+        if not parts:
+            return ""
+        parts.append("")  # trailing newline after the final line
+        return "\n".join(parts)

@@ -43,6 +43,12 @@ class IngestionError(ValueError):
             f"{preview!r}"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays cls(*args) with the rendered
+        # message only, which breaks the 3-argument constructor; chunked
+        # parallel parsing ships these across process boundaries.
+        return (IngestionError, (self.category, self.line_no, self.line))
+
 
 class IngestionDegraded(RuntimeError):
     """The corrupt-line fraction exceeded the parser's error budget.
@@ -65,6 +71,17 @@ class IngestionDegraded(RuntimeError):
             f"{stats.unknown_xid_lines} unknown-XID of "
             f"{stats.total_lines} lines)"
         )
+
+    def __reduce__(self):
+        return (
+            _rebuild_degraded,
+            (self.stats, self.budget, self.fraction, self.log),
+        )
+
+
+def _rebuild_degraded(stats, budget, fraction, log):
+    """Unpickle helper for :class:`IngestionDegraded` (kw-only ctor)."""
+    return IngestionDegraded(stats=stats, budget=budget, fraction=fraction, log=log)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,263 @@
+"""Chunked-parallel console parsing with order-preserving merge.
+
+A full 21-month console stream is hundreds of thousands of lines; the
+parse is embarrassingly parallel because every line lands in exactly
+one primary counter and the parser keeps no cross-line state (resync
+operates *within* a line).  This module shards a large log across
+:func:`repro.parallel.pool.parallel_map` workers in deterministic
+line-offset chunks and merges the per-chunk results back in chunk
+order, reproducing the serial parser's observable behavior exactly:
+
+* the merged :class:`~repro.errors.event.EventLog` equals the serial
+  log row for row (chunks split on whole-line boundaries, so no record
+  is ever torn across workers — the partition invariant
+  ``parsed + non_gpu + malformed + unknown_xid == total`` survives);
+* strict mode re-raises the *earliest* worker
+  :class:`~repro.telemetry.ingestion.IngestionError` (global line
+  numbers, via ``first_line_no``), with the caller's quarantine sink
+  reflecting only rejects before that line — as a serial run would;
+* the error budget is evaluated once, after the merge, on the merged
+  statistics, raising :class:`~repro.telemetry.ingestion.IngestionDegraded`
+  with the merged partial log;
+* quarantine records merge in chunk order and the first ``capacity``
+  survive — the same set a serial sink would have kept.
+
+Small inputs (or ``n_workers <= 1``) skip the pool entirely and parse
+serially in-process; spawning workers for a smoke-sized log costs more
+than it saves.  Only the default SEC rule catalog is supported in
+parallel — custom catalogs parse serially.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors.event import EventLog, EventLogBuilder
+from repro.telemetry.ingestion import (
+    IngestionDegraded,
+    IngestionError,
+    QuarantineSink,
+)
+from repro.telemetry.parser import ConsoleLogParser, ParseStats
+from repro.topology.machine import TitanMachine
+
+__all__ = ["parse_lines_parallel", "parse_text_parallel", "SERIAL_THRESHOLD"]
+
+#: Below this many lines the pool is never worth its spawn cost.
+SERIAL_THRESHOLD: int = 80_000
+
+#: Minimum lines per chunk; caps the effective worker count so tiny
+#: chunks do not drown the merge in per-chunk overhead.
+_MIN_CHUNK_LINES: int = 20_000
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """One worker's slice of the stream (picklable, self-contained)."""
+
+    lines: tuple[str, ...]
+    first_line_no: int
+    folded_torus: bool
+    strict: bool
+    resync: bool
+    fast: bool
+    quarantine_capacity: int | None
+
+
+@dataclass
+class _ChunkResult:
+    log: EventLog
+    stats: ParseStats
+    sink: QuarantineSink | None
+    error: IngestionError | None
+
+
+#: Per-process machine cache: workers rebuild the (deterministic)
+#: topology once per folded/unfolded flavor, not once per chunk.
+_WORKER_MACHINES: dict[bool, TitanMachine] = {}
+
+
+def _worker_machine(folded_torus: bool) -> TitanMachine:
+    machine = _WORKER_MACHINES.get(folded_torus)
+    if machine is None:
+        machine = TitanMachine(folded_torus=folded_torus)
+        _WORKER_MACHINES[folded_torus] = machine
+    return machine
+
+
+def _parse_chunk(task: _ChunkTask) -> _ChunkResult:
+    """Worker: parse one chunk with global line numbering.
+
+    Module-level on purpose (spawn-safe).  The worker parses with
+    ``error_budget=None`` — the budget is a whole-stream property and
+    is applied by the merger; strict errors are captured and returned
+    so the merger can raise the globally earliest one.
+    """
+    sink = (
+        None
+        if task.quarantine_capacity is None
+        else QuarantineSink(capacity=task.quarantine_capacity)
+    )
+    parser = ConsoleLogParser(
+        _worker_machine(task.folded_torus),
+        strict=task.strict,
+        resync=task.resync,
+        error_budget=None,
+        quarantine=sink,
+        fast=task.fast,
+    )
+    try:
+        log, stats = parser.parse_lines(
+            task.lines, first_line_no=task.first_line_no
+        )
+    except IngestionError as exc:
+        return _ChunkResult(EventLog.empty(), ParseStats(), sink, exc)
+    return _ChunkResult(log, stats, sink, None)
+
+
+def _merge_stats(target: ParseStats, chunk: ParseStats) -> None:
+    target.total_lines += chunk.total_lines
+    target.parsed_events += chunk.parsed_events
+    target.non_gpu_lines += chunk.non_gpu_lines
+    target.malformed_lines += chunk.malformed_lines
+    target.unknown_xid_lines += chunk.unknown_xid_lines
+    target.resynced_lines += chunk.resynced_lines
+    target.quarantined_lines += chunk.quarantined_lines
+    target.unknown_xids_seen |= chunk.unknown_xids_seen
+
+
+def _merge_sink(target: QuarantineSink, chunk: QuarantineSink) -> None:
+    """Fold one chunk sink into the caller's sink, in chunk order.
+
+    Every reject a serial run would have *kept* is among its chunk's
+    kept records (a globally-early reject is chunk-early too, and the
+    chunk capacity matches the caller's), so appending kept records in
+    order until the target fills reproduces the serial record set;
+    counts and totals cover dropped records as well.
+    """
+    target.total += chunk.total
+    for category, n in chunk.counts.items():
+        target.counts[category] = target.counts.get(category, 0) + n
+    appended = 0
+    for record in chunk.records:
+        if len(target.records) < target.capacity:
+            target.records.append(record)
+            appended += 1
+        else:
+            break
+    target.n_overflowed += chunk.total - appended
+
+
+def parse_lines_parallel(
+    lines: Iterable[str],
+    machine: TitanMachine,
+    *,
+    n_workers: int = 1,
+    strict: bool = False,
+    resync: bool = True,
+    error_budget: float | None = None,
+    quarantine: QuarantineSink | None = None,
+    fast: bool = True,
+    serial_threshold: int = SERIAL_THRESHOLD,
+) -> tuple[EventLog, ParseStats]:
+    """Parse log lines, sharded across processes when large enough.
+
+    Semantics match ``ConsoleLogParser(...).parse_lines(lines)`` for
+    the default rule catalog — same log, same statistics, same errors,
+    same quarantine contents — regardless of worker count.  Chunk
+    boundaries depend only on the line count and ``n_workers``, so the
+    sharding itself is deterministic.
+    """
+    lines = list(lines)
+    if error_budget is not None and not 0.0 <= error_budget <= 1.0:
+        raise ValueError("error_budget must be in [0, 1] or None")
+    if n_workers <= 1 or len(lines) < max(serial_threshold, 2):
+        parser = ConsoleLogParser(
+            machine,
+            strict=strict,
+            resync=resync,
+            error_budget=error_budget,
+            quarantine=quarantine,
+            fast=fast,
+        )
+        return parser.parse_lines(lines)
+
+    # Imported here, not at module top: repro.parallel's package init
+    # pulls in the replica engine, which imports the simulation — which
+    # imports this module (telemetry is further down the dependency
+    # stack than the pool).
+    from repro.parallel.pool import parallel_map
+
+    n_chunks = min(int(n_workers), max(1, len(lines) // _MIN_CHUNK_LINES))
+    chunk_len = -(-len(lines) // n_chunks)  # ceil division
+    tasks = [
+        _ChunkTask(
+            lines=tuple(lines[start : start + chunk_len]),
+            first_line_no=start + 1,
+            folded_torus=machine.folded_torus,
+            strict=strict,
+            resync=resync,
+            fast=fast,
+            quarantine_capacity=None if quarantine is None else quarantine.capacity,
+        )
+        for start in range(0, len(lines), chunk_len)
+    ]
+    results = parallel_map(_parse_chunk, tasks, n_workers=n_workers)
+
+    # Strict mode: honor the globally earliest rejection, with the
+    # caller's sink reflecting exactly the rejects a serial run saw
+    # before raising (whole chunks before the failing one, plus the
+    # failing chunk's partial sink).
+    error_index = next(
+        (i for i, r in enumerate(results) if r.error is not None), None
+    )
+    if error_index is not None:
+        if quarantine is not None:
+            for result in results[: error_index + 1]:
+                if result.sink is not None:
+                    _merge_sink(quarantine, result.sink)
+        raise results[error_index].error
+
+    builder = EventLogBuilder()
+    stats = ParseStats()
+    for result in results:
+        builder.extend_unsorted(result.log)
+        _merge_stats(stats, result.stats)
+        if quarantine is not None and result.sink is not None:
+            _merge_sink(quarantine, result.sink)
+    log = builder.freeze()
+    if error_budget is not None and stats.corrupt_fraction > error_budget:
+        raise IngestionDegraded(
+            stats=stats,
+            budget=error_budget,
+            fraction=stats.corrupt_fraction,
+            log=log,
+        )
+    return log, stats
+
+
+def parse_text_parallel(
+    text: str,
+    machine: TitanMachine,
+    *,
+    n_workers: int = 1,
+    strict: bool = False,
+    resync: bool = True,
+    error_budget: float | None = None,
+    quarantine: QuarantineSink | None = None,
+    fast: bool = True,
+    serial_threshold: int = SERIAL_THRESHOLD,
+) -> tuple[EventLog, ParseStats]:
+    """:func:`parse_lines_parallel` over ``text.splitlines()``."""
+    return parse_lines_parallel(
+        text.splitlines(),
+        machine,
+        n_workers=n_workers,
+        strict=strict,
+        resync=resync,
+        error_budget=error_budget,
+        quarantine=quarantine,
+        fast=fast,
+        serial_threshold=serial_threshold,
+    )

@@ -46,6 +46,14 @@ from repro.telemetry.ingestion import (
     QuarantineSink,
 )
 from repro.telemetry.sec import SEC_RULES, SecRule, UnmatchedLine, classify_line
+from repro.telemetry.timecodec import (
+    _2D_VALUE,
+    _DAY_US_OF_DATE,
+    _SECONDS_PER_HOUR,
+    _SECONDS_PER_MINUTE,
+    _US_PER_SECOND,
+    parse_timestamp,
+)
 from repro.topology.machine import TitanMachine
 from repro.units import datetime_to_timestamp
 
@@ -66,10 +74,37 @@ _STRUCT_RE = re.compile(r" in (?P<structure>[a-z0-9_]+)(?: page 0x(?P<page>[0-9a
 _JOB_RE = re.compile(r"\[job=(?P<job>\d+)\]")
 
 _STRUCT_BY_NAME = {s.value: s for s in MemoryStructure}
+_STRUCT_CODE_BY_NAME = {s.value: STRUCTURE_CODES[s] for s in MemoryStructure}
 
 #: Largest integer the columnar int64 store accepts; anything bigger in
 #: a page/job field is corruption, not data.
 _MAX_INT_FIELD = 2**62
+
+#: Characters legal in a rendered page number (the writer emits
+#: ``%06x`` — lowercase hex, exactly what ``_STRUCT_RE`` accepts).
+_HEX_LOWER = "0123456789abcdef"
+
+#: Lazily built fast-path table: body-head string → etype code, for
+#: every constant head the writer can emit.  The map is derived by
+#: running :func:`classify_line` on each head, so the fast path
+#: classifies exactly as the catalog-ordered slow path does; any line
+#: that is not byte-for-byte canonical writer output — corruption,
+#: splices, unknown XIDs, non-GPU chatter, non-canonical cnames —
+#: falls through to the unchanged slow path, which remains the
+#: semantics reference.
+_FAST_HEADS: dict[str, int] | None = None
+
+
+def _fast_heads() -> dict[str, int]:
+    global _FAST_HEADS
+    if _FAST_HEADS is None:
+        from repro.telemetry.console import _BODY_HEAD_BY_CODE
+
+        _FAST_HEADS = {
+            head: classify_line(head, SEC_RULES).code
+            for head in _BODY_HEAD_BY_CODE.values()
+        }
+    return _FAST_HEADS
 
 
 @dataclass
@@ -133,6 +168,15 @@ class ConsoleLogParser:
         the full stream is parsed, carrying the partial log.
     quarantine:
         Optional sink receiving every rejected line.
+    fast:
+        Decode pristine writer-format lines through the fast path
+        (manual field slicing + table lookups + the fixed-format
+        timestamp codec).  Any line that is not byte-for-byte canonical
+        writer output takes the original slow path, so output is
+        identical either way; ``fast=False`` forces the slow path
+        everywhere and exists for the equivalence tests.  The fast path
+        only engages for the default rule catalog — custom ``rules``
+        always classify through the slow path.
     """
 
     def __init__(
@@ -144,6 +188,7 @@ class ConsoleLogParser:
         resync: bool = True,
         error_budget: float | None = None,
         quarantine: QuarantineSink | None = None,
+        fast: bool = True,
     ) -> None:
         self.machine = machine
         self.rules = rules
@@ -153,6 +198,11 @@ class ConsoleLogParser:
             raise ValueError("error_budget must be in [0, 1] or None")
         self.error_budget = error_budget
         self.quarantine = quarantine
+        self.fast = bool(fast)
+        if self.fast and rules is SEC_RULES:
+            self._etype_by_head = _fast_heads()
+        else:
+            self._etype_by_head = {}
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -171,21 +221,30 @@ class ConsoleLogParser:
 
     # -- parsing -----------------------------------------------------------
 
-    def parse_lines(self, lines: Iterable[str]) -> tuple[EventLog, ParseStats]:
+    def parse_lines(
+        self, lines: Iterable[str], *, first_line_no: int = 1
+    ) -> tuple[EventLog, ParseStats]:
         """Parse an iterable of log lines.
 
         Returns the (unsorted — log-order) event log and statistics.
         Raises :class:`IngestionError` (strict mode) or
         :class:`IngestionDegraded` (error budget exceeded).
+        ``first_line_no`` offsets the reported line numbers (strict
+        errors, quarantine records) so chunked parsing of a large log
+        attributes rejects to their true position in the whole stream.
         """
         builder = EventLogBuilder()
         stats = ParseStats()
-        for line_no, raw in enumerate(lines, start=1):
-            line = raw.rstrip("\n")
-            if not line.strip():
-                continue
-            stats.total_lines += 1
-            self._parse_one(builder, stats, line_no, line)
+        if self._etype_by_head:
+            self._parse_fast(lines, first_line_no, builder, stats)
+        else:
+            parse_one = self._parse_one
+            for line_no, raw in enumerate(lines, start=first_line_no):
+                line = raw.rstrip("\n")
+                if not line.strip():
+                    continue
+                stats.total_lines += 1
+                parse_one(builder, stats, line_no, line)
         log = builder.freeze()
         if (
             self.error_budget is not None
@@ -198,6 +257,158 @@ class ConsoleLogParser:
                 log=log,
             )
         return log, stats
+
+    def _parse_fast(
+        self,
+        lines: Iterable[str],
+        first_line_no: int,
+        builder: EventLogBuilder,
+        stats: ParseStats,
+    ) -> None:
+        """Hot loop: decode canonical writer-format lines by slicing.
+
+        A line is *claimed* by the fast path only when every field
+        decodes exactly as the canonical writer emits it: a codec-valid
+        26-char stamp at the front, single-space separators, a cname in
+        the topology's canonical table, a known constant body head,
+        canonical clause order (``in <structure>``, ``page 0x<hex>``,
+        trailing ``[job=N]``), a known structure name, lowercase hex
+        page digits and decimal job digits.  On *any* doubt the whole
+        line goes to :meth:`_parse_one` — the unchanged semantics
+        reference — so the resulting log and statistics are identical
+        to a slow-path-only parse, line for line.
+
+        Claimed lines append through pre-bound column ``append``s; the
+        local ``total``/``parsed`` tallies flush into ``stats`` once at
+        the end (or on a strict-mode raise) instead of per line.
+        """
+        etype_of = self._etype_by_head
+        gpu_of = self.machine.gpu_index_map()
+        scode_of = _STRUCT_CODE_BY_NAME
+        parse_ts = parse_timestamp
+        parse_one = self._parse_one
+        hex_lower = _HEX_LOWER
+        # Inlined stamp decode: the codec's own memo/value tables. Any
+        # miss (new date, non-ASCII digits, out-of-range field) falls
+        # back to parse_timestamp, which owns validation and the memo.
+        day_us_of = _DAY_US_OF_DATE
+        v2 = _2D_VALUE
+        sph = _SECONDS_PER_HOUR
+        spm = _SECONDS_PER_MINUTE
+        ups = _US_PER_SECOND
+        rows = builder.raw_columns()
+        t_app = rows["time"].append
+        g_app = rows["gpu"].append
+        e_app = rows["etype"].append
+        s_app = rows["structure"].append
+        j_app = rows["job"].append
+        p_app = rows["parent"].append
+        a_app = rows["aux"].append
+        total = 0
+        parsed = 0
+        try:
+            for line_no, raw in enumerate(lines, start=first_line_no):
+                line = raw.rstrip("\n")
+                if not line.strip():
+                    continue
+                total += 1
+                # Shortest canonical line: 26-char stamp + space + a
+                # 10-char cname + space + one-char body = 39 chars.
+                if len(line) > 38 and line[26] == " " and line[27] == "c":
+                    sp = line.find(" ", 28)
+                    gpu = gpu_of.get(line[27:sp]) if sp > 0 else None
+                    if gpu is not None:
+                        body = line[sp + 1 :]
+                        ok = True
+                        job = -1
+                        if body.endswith("]"):
+                            j = body.rfind(" [job=", 0, -1)
+                            jd = body[j + 6 : -1] if j >= 0 else ""
+                            # isdecimal == \d (Nd), so int() always
+                            # accepts; 18 digits can't overflow int64.
+                            if jd and len(jd) <= 18 and jd.isdecimal():
+                                job = int(jd)
+                                body = body[:j]
+                            else:
+                                ok = False
+                        scode = -1
+                        aux = -1
+                        if ok:
+                            i = body.find(" in ")
+                            if i >= 0:
+                                head = body[:i]
+                                rest = body[i + 4 :]
+                                p = rest.find(" page 0x")
+                                if p >= 0:
+                                    pd = rest[p + 8 :]
+                                    # strip() leaves "" iff every char
+                                    # is lowercase hex; 15 digits keep
+                                    # the value below the int64 guard.
+                                    if (
+                                        pd
+                                        and len(pd) <= 15
+                                        and not pd.strip(hex_lower)
+                                    ):
+                                        aux = int(pd, 16)
+                                        rest = rest[:p]
+                                    else:
+                                        ok = False
+                                if ok:
+                                    sc = scode_of.get(rest)
+                                    if sc is None:
+                                        ok = False
+                                    else:
+                                        scode = sc
+                            else:
+                                head = body
+                        if ok:
+                            ecode = etype_of.get(head)
+                            if ecode is not None:
+                                when = None
+                                day_us = day_us_of.get(line[:10])
+                                if (
+                                    day_us is not None
+                                    and line[10] == "T"
+                                    and line[13] == ":"
+                                    and line[16] == ":"
+                                    and line[19] == "."
+                                ):
+                                    h = v2.get(line[11:13])
+                                    m = v2.get(line[14:16])
+                                    s = v2.get(line[17:19])
+                                    if (
+                                        h is not None
+                                        and h < 24
+                                        and m is not None
+                                        and m < 60
+                                        and s is not None
+                                        and s < 60
+                                        and line[20:26].isdigit()
+                                    ):
+                                        when = (
+                                            day_us
+                                            + (h * sph + m * spm + s) * ups
+                                            + int(line[20:26])
+                                        ) / ups
+                                if when is None:
+                                    try:
+                                        when = parse_ts(line[:26])
+                                    except ValueError:
+                                        when = None
+                                if when is not None:
+                                    t_app(when)
+                                    g_app(gpu)
+                                    e_app(ecode)
+                                    s_app(scode)
+                                    j_app(job)
+                                    p_app(-1)
+                                    a_app(aux)
+                                    parsed += 1
+                                    continue
+                parse_one(builder, stats, line_no, line)
+        finally:
+            stats.total_lines += total
+            stats.parsed_events += parsed
 
     def _parse_one(
         self,

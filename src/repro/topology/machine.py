@@ -87,6 +87,13 @@ class TitanMachine:
         self._alloc_rank = np.empty(N_COMPUTE_NODES, dtype=np.int64)
         self._alloc_rank[order] = np.arange(N_COMPUTE_NODES)
 
+        # Lazily built bidirectional cname tables (see cname_table /
+        # gpu_index_map): one formatted string per GPU and the inverse
+        # dict.  The string-parsing paths remain as the verification
+        # reference (cname_reference / gpu_from_cname_reference).
+        self._cname_table: list[str] | None = None
+        self._gpu_by_cname: dict[str, int] | None = None
+
     # -- sizes -------------------------------------------------------------
 
     @property
@@ -150,8 +157,48 @@ class TitanMachine:
         """Full :class:`NodeLocation` of one GPU."""
         return NodeLocation.from_index(int(self.gpu_position(gpu)))
 
+    def cname_table(self) -> list[str]:
+        """Canonical cname of every GPU, indexed by GPU id.
+
+        Built once per machine (18,688 strings) and shared by the
+        console writer's and parser's hot paths; the table is the
+        memoized image of :meth:`cname_reference` over all GPU ids and
+        the tests assert the two agree element-for-element.
+        """
+        if self._cname_table is None:
+            self._cname_table = [
+                format_cname(r, c, g, s, n)
+                for r, c, g, s, n in zip(
+                    self._row.tolist(),
+                    self._col.tolist(),
+                    self._cage.tolist(),
+                    self._slot.tolist(),
+                    self._node.tolist(),
+                )
+            ]
+        return self._cname_table
+
+    def gpu_index_map(self) -> dict[str, int]:
+        """Inverse of :meth:`cname_table`: canonical cname → GPU id.
+
+        Only *canonical* spellings appear as keys; non-canonical but
+        parseable forms (leading zeros, surrounding whitespace) and
+        service-node cnames miss here and must go through
+        :meth:`gpu_from_cname`, which falls back to the string-parsing
+        reference.
+        """
+        if self._gpu_by_cname is None:
+            self._gpu_by_cname = {
+                name: gpu for gpu, name in enumerate(self.cname_table())
+            }
+        return self._gpu_by_cname
+
     def cname(self, gpu: int) -> str:
-        """Cray cname of one GPU's node."""
+        """Cray cname of one GPU's node (memoized table lookup)."""
+        return self.cname_table()[int(gpu)]
+
+    def cname_reference(self, gpu: int) -> str:
+        """Uncached cname formatting — the verification reference."""
         g = int(gpu)
         return format_cname(
             int(self._row[g]),
@@ -162,7 +209,19 @@ class TitanMachine:
         )
 
     def gpu_from_cname(self, cname: str) -> int:
-        """GPU id for a cname; raises if the node is a service node."""
+        """GPU id for a cname; raises if the node is a service node.
+
+        Canonical cnames resolve through the precomputed table; any
+        other spelling falls back to :meth:`gpu_from_cname_reference`,
+        so the accepted language is exactly the reference parser's.
+        """
+        gpu = self.gpu_index_map().get(cname)
+        if gpu is not None:
+            return gpu
+        return self.gpu_from_cname_reference(cname)
+
+    def gpu_from_cname_reference(self, cname: str) -> int:
+        """Uncached cname decoding — the verification reference."""
         loc = NodeLocation.from_cname(cname)
         gpu = int(self._gpu_of_position[loc.index])
         if gpu < 0:

@@ -113,18 +113,25 @@ class WorkloadGenerator:
         return np.sort(t[keep])
 
     def _sample_job(self, user_id: int, rng: np.random.Generator):
+        # Scalar clamps use min/max rather than np.clip: identical
+        # values (and identical rng draw order), without routing every
+        # sample through numpy's array-dispatch machinery.
         p = self.users[user_id]
         n_nodes = int(
-            np.clip(
-                np.round(rng.lognormal(np.log(p.nodes_median), p.nodes_sigma)),
-                1,
+            min(
+                max(
+                    round(rng.lognormal(np.log(p.nodes_median), p.nodes_sigma)),
+                    1,
+                ),
                 MAX_JOB_NODES,
             )
         )
         walltime_h = float(
-            np.clip(
-                rng.lognormal(np.log(p.walltime_median_h), p.walltime_sigma),
-                MIN_WALLTIME_H,
+            min(
+                max(
+                    rng.lognormal(np.log(p.walltime_median_h), p.walltime_sigma),
+                    MIN_WALLTIME_H,
+                ),
                 MAX_WALLTIME_H,
             )
         )
@@ -133,13 +140,16 @@ class WorkloadGenerator:
         # count are only loosely coupled — the precondition for the weak
         # memory↔SBE correlations of Figs. 16–17 and for Fig. 21(d).
         max_memory = float(
-            np.clip(
-                p.mem_per_node_gb * rng.lognormal(0.0, 0.45), 0.1, NODE_MEMORY_GB
+            min(
+                max(p.mem_per_node_gb * rng.lognormal(0.0, 0.45), 0.1),
+                NODE_MEMORY_GB,
             )
         )
         duty = rng.uniform(0.6, 1.0)  # memory held for part of the run
         total_memory = max_memory * walltime_h * duty
-        util = float(np.clip(p.gpu_utilization * rng.lognormal(0.0, 0.15), 0.05, 1.0))
+        util = float(
+            min(max(p.gpu_utilization * rng.lognormal(0.0, 0.15), 0.05), 1.0)
+        )
         n_apruns = 1 + rng.poisson(self.config.apruns_mean - 1.0)
         return n_nodes, walltime_h, max_memory, total_memory, util, int(n_apruns)
 

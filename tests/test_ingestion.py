@@ -7,10 +7,13 @@ raise on arbitrary input, and the ParseStats primary counters must
 always partition the input lines.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.telemetry.parallel_parse as parallel_parse
+from repro.chaos.injector import ChaosConfig, CorruptionInjector
 from repro.telemetry.ingestion import (
     IngestionDegraded,
     IngestionError,
@@ -26,6 +29,7 @@ from repro.telemetry.nvsmi_text import (
     parse_nvsmi_query,
     render_nvsmi_query,
 )
+from repro.telemetry.parallel_parse import parse_lines_parallel
 from repro.telemetry.parser import ConsoleLogParser
 
 
@@ -268,3 +272,163 @@ class TestJobsnapStream:
         parsed, stats = parse_jobsnap_records(spliced)
         assert stats.parsed_rows == 2 * len(records)
         assert stats.malformed_rows == 0
+
+
+def _assert_logs_equal(got, want):
+    """Row-for-row equality over every EventLog column."""
+    assert len(got) == len(want)
+    for column in ("time", "gpu", "etype", "structure", "job", "parent", "aux"):
+        assert np.array_equal(getattr(got, column), getattr(want, column)), column
+
+
+def _assert_same_parse(machine, lines):
+    """The slicing fast path and the regex slow path must be observably
+    identical: same log rows, same statistics."""
+    fast_log, fast_stats = ConsoleLogParser(machine, fast=True).parse_lines(lines)
+    slow_log, slow_stats = ConsoleLogParser(machine, fast=False).parse_lines(lines)
+    _assert_logs_equal(fast_log, slow_log)
+    assert fast_stats == slow_stats
+    assert fast_stats.accounted == fast_stats.total_lines
+
+
+class TestFastSlowEquivalence:
+    """The sliced fast path defers every doubtful line to the regex
+    slow path, so fast and slow parsing are the same function."""
+
+    def test_clean_console_text(self, smoke_dataset):
+        _assert_same_parse(
+            smoke_dataset.machine,
+            smoke_dataset.console_text.splitlines()[:4000],
+        )
+
+    @pytest.mark.parametrize("level", [0.02, 0.25])
+    def test_corrupted_console_text(self, smoke_dataset, level):
+        base = smoke_dataset.console_text.splitlines()[:2500]
+        injector = CorruptionInjector(ChaosConfig.uniform(level), seed=13)
+        corrupted, counts, _ = injector.corrupt_lines(base)
+        assert sum(counts.values()) > 0
+        _assert_same_parse(smoke_dataset.machine, corrupted)
+
+    @given(lines=st.lists(st.one_of(_LINE_TEXT, _SEMI_VALID), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_fuzzed_lines(self, bare_machine, lines):
+        _assert_same_parse(bare_machine, lines)
+
+    def test_near_canonical_edge_lines(self, smoke_dataset, gpu_lines):
+        # Lines one mutation away from canonical: each must land in the
+        # same counter on both paths (most fall through to slow).
+        base = gpu_lines[0]
+        variants = [
+            base + " ",  # trailing space (rstripped)
+            base + " trailing garbage",
+            base.replace(" [job=", " [job=00", 1),  # zero-padded job
+            base[:26] + "  " + base[27:],  # double separator
+            base.replace("T", " ", 1),  # broken stamp separator
+            "c0-0c0s0n0 missing stamp",
+            base[:10],  # truncated mid-stamp
+        ]
+        _assert_same_parse(smoke_dataset.machine, variants)
+
+
+class TestParallelParse:
+    """Chunked-parallel parsing must be observably identical to the
+    serial parser: same rows, stats, errors and quarantine contents."""
+
+    @pytest.fixture(autouse=True)
+    def _tiny_chunks(self, monkeypatch):
+        # Force real multi-chunk sharding on test-sized inputs.
+        monkeypatch.setattr(parallel_parse, "_MIN_CHUNK_LINES", 10)
+
+    def test_parallel_matches_serial(self, smoke_dataset, gpu_lines):
+        lines = gpu_lines[:50] + ["@@garbage@@"] + gpu_lines[50:60]
+        serial_log, serial_stats = ConsoleLogParser(
+            smoke_dataset.machine
+        ).parse_lines(lines)
+        par_log, par_stats = parse_lines_parallel(
+            lines, smoke_dataset.machine, n_workers=2, serial_threshold=0
+        )
+        _assert_logs_equal(par_log, serial_log)
+        assert par_stats == serial_stats
+
+    def test_torn_line_at_chunk_boundary(self, smoke_dataset, gpu_lines):
+        # 40 lines, 2 workers -> the chunk boundary falls after index
+        # 19.  Tear the last line of the first chunk (a splice of two
+        # records, the classic torn-write shape): chunking must not
+        # change how the parser heals it, and the merged ParseStats
+        # must still partition the input.
+        base = gpu_lines[:40]
+        lines = list(base)
+        lines[19] = base[19][:25] + base[20]
+        serial_log, serial_stats = ConsoleLogParser(
+            smoke_dataset.machine
+        ).parse_lines(lines)
+        par_log, par_stats = parse_lines_parallel(
+            lines, smoke_dataset.machine, n_workers=2, serial_threshold=0
+        )
+        assert par_stats.resynced_lines == serial_stats.resynced_lines >= 1
+        assert par_stats.accounted == par_stats.total_lines == 40
+        _assert_logs_equal(par_log, serial_log)
+        assert par_stats == serial_stats
+
+    def test_quarantine_merge_parity(self, smoke_dataset, gpu_lines):
+        lines = []
+        for i, line in enumerate(gpu_lines[:40]):
+            lines.append(line)
+            if i % 7 == 0:
+                lines.append(f"@@bad {i}@@")
+        serial_sink = QuarantineSink(capacity=3)
+        ConsoleLogParser(
+            smoke_dataset.machine, quarantine=serial_sink
+        ).parse_lines(lines)
+        par_sink = QuarantineSink(capacity=3)
+        parse_lines_parallel(
+            lines,
+            smoke_dataset.machine,
+            n_workers=2,
+            serial_threshold=0,
+            quarantine=par_sink,
+        )
+        assert par_sink.total == serial_sink.total
+        assert par_sink.counts == serial_sink.counts
+        assert par_sink.n_overflowed == serial_sink.n_overflowed
+        assert [r.line for r in par_sink.records] == [
+            r.line for r in serial_sink.records
+        ]
+
+    def test_strict_raises_earliest_global_error(self, smoke_dataset, gpu_lines):
+        # Garbage in both chunks; the parallel strict error must carry
+        # the global line number of the *first* one, as a serial run
+        # would have raised.
+        lines = list(gpu_lines[:40])
+        lines[25] = "@@late garbage@@"
+        lines[4] = "@@early garbage@@"
+        with pytest.raises(IngestionError) as serial_exc:
+            ConsoleLogParser(smoke_dataset.machine, strict=True).parse_lines(lines)
+        with pytest.raises(IngestionError) as par_exc:
+            parse_lines_parallel(
+                lines,
+                smoke_dataset.machine,
+                n_workers=2,
+                serial_threshold=0,
+                strict=True,
+            )
+        assert par_exc.value.line_no == serial_exc.value.line_no == 5
+        assert par_exc.value.category == serial_exc.value.category
+
+    def test_budget_evaluated_on_merged_stats(self, smoke_dataset, gpu_lines):
+        lines = gpu_lines[:20] + ["@@corrupt@@"] * 20
+        with pytest.raises(IngestionDegraded) as serial_exc:
+            ConsoleLogParser(
+                smoke_dataset.machine, error_budget=0.2
+            ).parse_lines(lines)
+        with pytest.raises(IngestionDegraded) as par_exc:
+            parse_lines_parallel(
+                lines,
+                smoke_dataset.machine,
+                n_workers=2,
+                serial_threshold=0,
+                error_budget=0.2,
+            )
+        assert par_exc.value.stats == serial_exc.value.stats
+        assert par_exc.value.fraction == serial_exc.value.fraction
+        _assert_logs_equal(par_exc.value.log, serial_exc.value.log)

@@ -133,6 +133,18 @@ class TestRoundTrip:
         parsed, stats = ConsoleLogParser(machine).parse_text("\n\n\n")
         assert stats.total_lines == 0
 
+    def test_fast_lines_match_reference(self, machine):
+        # The table-driven writer must be byte-identical to the per-row
+        # render_event_line reference, including the SBE skip.
+        log = self.build_log(machine)
+        writer = ConsoleLogWriter(machine)
+        assert list(writer.lines(log)) == list(writer.lines_reference(log))
+
+    def test_fast_lines_match_reference_at_scale(self, smoke_dataset):
+        writer = ConsoleLogWriter(smoke_dataset.machine)
+        events = smoke_dataset.events
+        assert list(writer.lines(events)) == list(writer.lines_reference(events))
+
 
 class TestNvsmi:
     @pytest.fixture()

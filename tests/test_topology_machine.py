@@ -1,5 +1,7 @@
 """Tests for the TitanMachine model."""
 
+import re
+
 import numpy as np
 import pytest
 
@@ -105,6 +107,46 @@ def test_allocation_rank_is_permutation(machine):
 def test_allocation_order_starts_in_row_zero(machine):
     first = machine.allocation_order[:500]
     assert np.all(machine.row[first] == 0)
+
+
+def test_cname_table_matches_reference(machine):
+    table = machine.cname_table()
+    assert len(table) == machine.n_gpus
+    # Memoized table vs per-call reference formatting, sampled across
+    # the whole machine (every cabinet is hit at this stride).
+    for gpu in range(0, machine.n_gpus, 61):
+        assert table[gpu] == machine.cname_reference(gpu)
+    assert table[machine.n_gpus - 1] == machine.cname_reference(
+        machine.n_gpus - 1
+    )
+
+
+def test_cname_table_is_cached(machine):
+    assert machine.cname_table() is machine.cname_table()
+
+
+def test_gpu_index_map_inverts_cname_table(machine):
+    gmap = machine.gpu_index_map()
+    assert len(gmap) == machine.n_gpus
+    for gpu in range(0, machine.n_gpus, 101):
+        assert gmap[machine.cname(gpu)] == gpu
+
+
+def test_gpu_from_cname_matches_reference(machine):
+    canonical = machine.cname(9000)
+    assert machine.gpu_from_cname(canonical) == machine.gpu_from_cname_reference(
+        canonical
+    )
+    # Non-canonical spellings (zero-padded fields) miss the memoized
+    # map but must still resolve through the parsing fallback.
+    padded = re.sub(r"\d+", lambda m: m.group(0).zfill(3), canonical)
+    assert machine.gpu_from_cname(padded) == 9000
+    assert machine.gpu_from_cname_reference(padded) == 9000
+
+
+def test_gpu_from_cname_reference_rejects_service_node(machine):
+    with pytest.raises(ValueError):
+        machine.gpu_from_cname_reference("c0-0c0s0n0")
 
 
 def test_allocation_order_alternates_rows(machine):
