@@ -22,6 +22,13 @@ cold budget that CI's perf gate enforces.  ``--gate`` re-runs just the
 smoke cold pipeline and fails if its wall time regresses more than the
 gate tolerance (default 25 %) over the committed budget.
 
+A ``resume_s`` section measures the supervised runner's crash-recovery
+overhead: a cold ``repro run``, the same run SIGKILLed mid-figures in a
+real subprocess (a SIGKILL cannot be taken in-process), and the timed
+``--resume`` that completes it — asserting the resumed document is
+byte-identical to the cold one.  The resume should cost roughly one
+warm run: journaled stages are verified, not recomputed.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/measure_pipeline.py --days 45
@@ -127,6 +134,78 @@ def _analysis_lines(text: str) -> list[str]:
     return [l for l in text.splitlines() if not l.startswith("cache:")]
 
 
+#: Journal barrier the benchmark SIGKILLs at: mid-figures, so the
+#: resume both skips completed stages and computes the remainder.
+_RESUME_KILL_BARRIER = 10
+
+
+def _measure_resume(scenario: list[str], seed: int) -> dict:
+    """Crash/resume overhead of the supervised runner.
+
+    Cold ``repro run`` in-process, then the same run SIGKILLed at a
+    journal barrier in a real subprocess (only a real process can take
+    a SIGKILL), then a timed in-process ``--resume``; the resumed
+    document must equal the cold document byte-for-byte.
+    """
+    import os
+    import subprocess
+
+    from repro.chaos.procfault import PROCFAULT_ENV
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-resume-") as tmp:
+        tmp_path = Path(tmp)
+        base = ["run", *scenario, "--seed", str(seed), "--quiet"]
+        cold_out = tmp_path / "cold.json"
+        cold_s, cold_rc, _text = _timed([
+            *base, "--cache-dir", str(tmp_path / "cold-cache"),
+            "--out", str(cold_out),
+        ])
+        print(f"supervised cold run  {cold_s:8.2f} s  rc={cold_rc}")
+
+        env = dict(os.environ)
+        src = str(ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        env.pop("REPRO_CACHE_DIR", None)
+        env[PROCFAULT_ENV] = f"kill:{_RESUME_KILL_BARRIER}"
+        crash_cache = tmp_path / "crash-cache"
+        crash_out = tmp_path / "crash.json"
+        crash_argv = [
+            sys.executable, "-m", "repro", *base,
+            "--cache-dir", str(crash_cache), "--out", str(crash_out),
+        ]
+        t0 = time.perf_counter()
+        crashed = subprocess.run(crash_argv, env=env, capture_output=True)
+        killed_s = time.perf_counter() - t0
+        print(f"killed at barrier {_RESUME_KILL_BARRIER}  "
+              f"{killed_s:8.2f} s  rc={crashed.returncode}")
+
+        resume_s, resume_rc, _text = _timed([
+            *base, "--cache-dir", str(crash_cache),
+            "--out", str(crash_out), "--resume",
+        ])
+        print(f"resume after crash   {resume_s:8.2f} s  rc={resume_rc}")
+        identical = (
+            crash_out.exists()
+            and crash_out.read_bytes() == cold_out.read_bytes()
+        )
+        return {
+            "cold_run_s": round(cold_s, 3),
+            "killed_at_barrier": _RESUME_KILL_BARRIER,
+            "killed_run_s": round(killed_s, 3),
+            "resume_s": round(resume_s, 3),
+            "resume_identical": bool(identical),
+            "pass": bool(
+                cold_rc == 0
+                and resume_rc == 0
+                and crashed.returncode < 0  # died by signal, as planned
+                and identical
+            ),
+        }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--full", action="store_true",
@@ -168,13 +247,15 @@ def main(argv: list[str] | None = None) -> int:
         gate_cold_s, _gate_rc, _gate_out = _timed(_gate_argv(gate))
         print(f"gate smoke cold      {gate_cold_s:8.2f} s")
 
+    resume = _measure_resume(scenario, args.seed)
+
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     identical = (
         _analysis_lines(cold_out)
         == _analysis_lines(persist_out)
         == _analysis_lines(warm_out)
     ) and cold_rc == persist_rc == warm_rc
-    ok = identical and speedup >= args.min_speedup
+    ok = identical and speedup >= args.min_speedup and resume["pass"]
 
     doc = {
         "command": "observations",
@@ -197,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
             "check_with": "PYTHONPATH=src python benchmarks/measure_pipeline.py"
                           " --gate",
         },
+        "resume_s": resume,
         "speedup_cold_over_warm": round(speedup, 2),
         "min_speedup_required": args.min_speedup,
         "outputs_identical": identical,
@@ -206,7 +288,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"speedup {speedup:.1f}x (need >= {args.min_speedup}x), "
-          f"outputs identical: {identical} -> {args.out}")
+          f"outputs identical: {identical}, "
+          f"resume ok: {resume['pass']} -> {args.out}")
     return 0 if ok else 1
 
 

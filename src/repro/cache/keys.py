@@ -58,7 +58,7 @@ PIPELINE_EPOCH: int = 1
 #:     from repro.lint.flow import surface_digest
 #:     ctxs = [build_context(p) for p in iter_python_files(['src'])]
 #:     print(surface_digest(build_project(ctxs)))"
-PIPELINE_SURFACE: str = "4310edb5c5554c9c"
+PIPELINE_SURFACE: str = "c4a826f5d902b0cb"
 
 
 def canonical_encode(obj: Any) -> Any:

@@ -25,6 +25,15 @@ payload.  The durability discipline:
   correctness.
 * **Eviction** — least-recently-modified artifacts are removed first
   until the store fits a byte budget (`evict`); `clear` empties it.
+* **Concurrency-tolerant inventory** — ``entries``/``clear``/``evict``
+  walk the tree with :func:`os.walk` (which ignores directories that
+  vanish mid-walk) and treat files deleted between listing and stat as
+  already gone: a concurrent process clearing or evicting the same
+  store is never an error, just a smaller inventory.
+* **Stale staging sweep** — temp names embed the writer's pid, so
+  opening a store reclaims ``.tmp-*`` files left by *dead* writers
+  (SIGKILL mid-``put``) while leaving live writers' staging files
+  alone.
 
 No wall-clock reads happen here (the package is registered in the
 determinism guards): recency comes from filesystem mtimes, and temp
@@ -64,6 +73,29 @@ _tmp_counter = itertools.count()
 
 class CorruptArtifact(ValueError):
     """An on-disk container failed validation (torn/garbled/truncated)."""
+
+
+def _tmp_writer_pid(name: str) -> int | None:
+    """The pid embedded in a staging-file name, or ``None`` if garbled."""
+    marker = name.find(_TMP_MARKER)
+    if marker < 0:
+        return None
+    pid, _, _counter = name[marker + len(_TMP_MARKER):].partition("-")
+    try:
+        return int(pid)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Signal-0 liveness probe; unknown errors count as alive (safe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
 
 
 def _sha256_hex(payload: bytes) -> str:
@@ -130,6 +162,7 @@ class ArtifactStore:
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
+        self._sweep_stale_tmp()
 
     # -- paths ---------------------------------------------------------------
 
@@ -242,6 +275,43 @@ class ArtifactStore:
 
     # -- inventory -----------------------------------------------------------
 
+    def _iter_files(self) -> "list[Path]":
+        """Every file under ``objects/``, tolerant of concurrent deletion.
+
+        ``os.walk`` silently skips directories that vanish mid-walk
+        (its default ``onerror`` swallows the ``OSError``), unlike
+        ``Path.rglob`` which can propagate when racing another
+        process's ``clear``/``evict``/``_prune_empty_dirs``.
+        """
+        found: list[Path] = []
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            found.extend(Path(dirpath) / name for name in filenames)
+        return sorted(found)
+
+    def _sweep_stale_tmp(self) -> int:
+        """Reclaim staging files abandoned by dead writers; returns count.
+
+        A writer SIGKILLed between staging and ``os.replace`` leaks a
+        ``<name>.tmp-<pid>-<n>`` file.  The pid in the name tells us
+        whether the writer can still complete: live pids (including our
+        own other threads) are left alone, dead or unparsable ones are
+        removed.  Runs on store open, so a crashed run's debris is gone
+        before the resume writes anything.
+        """
+        removed = 0
+        for path in self._iter_files():
+            if _TMP_MARKER not in path.name:
+                continue
+            pid = _tmp_writer_pid(path.name)
+            if pid == os.getpid() or (pid is not None and _pid_alive(pid)):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
     def has(self, key: str) -> bool:
         """Cheap existence probe (full validation happens on ``get``)."""
         return self._path(key).exists()
@@ -258,10 +328,15 @@ class ArtifactStore:
         return [entry.key for entry in self.entries()]
 
     def entries(self) -> list[ArtifactInfo]:
-        """All valid-looking artifacts, sorted by key."""
+        """All valid-looking artifacts, sorted by key.
+
+        Artifacts deleted by a concurrent process between listing and
+        stat are simply skipped — a racing ``clear``/``evict``
+        elsewhere shrinks the inventory, never raises here.
+        """
         found: list[ArtifactInfo] = []
-        for path in sorted(self._objects.rglob(f"*{_SUFFIX}")):
-            if _TMP_MARKER in path.name:
+        for path in self._iter_files():
+            if not path.name.endswith(_SUFFIX) or _TMP_MARKER in path.name:
                 continue
             key = str(path.relative_to(self._objects))[: -len(_SUFFIX)]
             key = key.replace(os.sep, "/")
@@ -342,24 +417,25 @@ class ArtifactStore:
     def clear(self) -> int:
         """Remove every artifact (and stale temp files); returns count."""
         removed = 0
-        for path in sorted(self._objects.rglob("*")):
-            if path.is_file():
-                stale_tmp = _TMP_MARKER in path.name
-                path.unlink(missing_ok=True)
-                if not stale_tmp:
-                    removed += 1
+        for path in self._iter_files():
+            stale_tmp = _TMP_MARKER in path.name
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent process got there first
+            if not stale_tmp:
+                removed += 1
         self._prune_empty_dirs()
         return removed
 
     def _prune_empty_dirs(self) -> None:
-        dirs = sorted(
-            (p for p in self._objects.rglob("*") if p.is_dir()),
-            key=lambda p: len(p.parts),
-            reverse=True,
-        )
-        for directory in dirs:
+        for dirpath, _dirnames, _filenames in os.walk(
+            self._objects, topdown=False
+        ):
+            if Path(dirpath) == self._objects:
+                continue
             try:
-                directory.rmdir()  # only succeeds when empty
+                os.rmdir(dirpath)  # only succeeds when empty
             except OSError:
                 pass
 

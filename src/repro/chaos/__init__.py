@@ -14,7 +14,11 @@ fatal") are continuously exercised instead of assumed:
 * :mod:`experiment` — the graceful-degradation sweep: corrupt at
   increasing levels, re-parse through the hardened ingestion stack,
   and record the corruption level at which each paper Observation
-  first flips.
+  first flips;
+* :mod:`procfault` — process-level faults (SIGKILL at a journal
+  barrier, torn journal writes, injected ENOSPC) for the supervised
+  runner's crash/resume contract, swept by ``repro chaos-run``
+  (:mod:`repro.supervise.chaosrun`).
 
 The defensive counterparts live with the parsers:
 :mod:`repro.telemetry.ingestion` (strict/lenient modes, error budgets,
@@ -34,6 +38,14 @@ from repro.chaos.experiment import (
     DegradationPoint,
     run_degradation,
 )
+from repro.chaos.procfault import (
+    FAULT_MODES,
+    PROCFAULT_ENV,
+    FaultPlan,
+    ProcessFaultInjector,
+    injector_from_env,
+    plan_from_env,
+)
 
 __all__ = [
     "ChaosConfig",
@@ -44,4 +56,10 @@ __all__ = [
     "run_degradation",
     "DEFAULT_LEVELS",
     "DEFAULT_ERROR_BUDGET",
+    "FAULT_MODES",
+    "PROCFAULT_ENV",
+    "FaultPlan",
+    "ProcessFaultInjector",
+    "plan_from_env",
+    "injector_from_env",
 ]

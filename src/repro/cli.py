@@ -13,6 +13,12 @@ Commands
 ``lint``          AST determinism/invariant linter over the source tree
 ``cache``         artifact-store maintenance (``info``/``clear``/``evict``)
 ``profile``       per-stage wall-time breakdown of one cold pipeline run
+``run``           crash-safe supervised pipeline run: every stage is
+                  journaled into the artifact store; ``--resume``
+                  continues a killed/interrupted run byte-identically
+``chaos-run``     process-fault sweep: kill/tear/ENOSPC a real ``run``
+                  subprocess at every journal barrier and prove the
+                  resume reproduces the cold document byte-for-byte
 
 Every analysis command accepts ``--seed`` and ``--cache-dir``: with a
 cache directory (or ``$REPRO_CACHE_DIR``), the simulated dataset's
@@ -177,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.perf.cli import add_profile_arguments
 
     add_profile_arguments(p_prof)
+
+    from repro.supervise.cli import add_chaos_run_arguments, add_run_arguments
+
+    p_run = sub.add_parser(
+        "run", help="journaled, crash-safe pipeline run (supports --resume)"
+    )
+    add_run_arguments(p_run)
+
+    p_chaos_run = sub.add_parser(
+        "chaos-run",
+        help="sweep process faults over the run journal's barriers and "
+             "verify byte-identical resume",
+    )
+    add_chaos_run_arguments(p_chaos_run)
     return parser
 
 
@@ -404,6 +424,20 @@ def cmd_profile(args) -> int:
     return _cmd_profile(args)
 
 
+def cmd_run(args) -> int:
+    """Supervised, journaled pipeline run (see :mod:`repro.supervise.cli`)."""
+    from repro.supervise.cli import cmd_run as _cmd_run
+
+    return _cmd_run(args)
+
+
+def cmd_chaos_run(args) -> int:
+    """Process-fault sweep over journal barriers (see :mod:`repro.supervise.cli`)."""
+    from repro.supervise.cli import cmd_chaos_run as _cmd_chaos_run
+
+    return _cmd_chaos_run(args)
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "figures": cmd_figures,
@@ -415,6 +449,8 @@ _COMMANDS = {
     "lint": cmd_lint,
     "cache": cmd_cache,
     "profile": cmd_profile,
+    "run": cmd_run,
+    "chaos-run": cmd_chaos_run,
 }
 
 

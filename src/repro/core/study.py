@@ -232,7 +232,26 @@ class TitanStudy:
             self.store.put(key, result, "pickle")
         return result
 
-    def figs_all(self, *, n_workers: int = 1) -> dict[str, Any]:
+    def invalidate(self, name: str) -> None:
+        """Forget a figure's memoized *and* persisted result.
+
+        The supervised runner calls this when a journaled digest no
+        longer matches the store's artifact (corruption, a swapped
+        cache): the next ``figN()`` call recomputes from the dataset.
+        """
+        self._memo.pop(name, None)
+        if self._use_store:
+            from repro.cache import artifact_key
+
+            self.store.delete(artifact_key(self.dataset_key, f"fig/{name}"))
+
+    def figs_all(
+        self,
+        *,
+        n_workers: int = 1,
+        chunk_timeout_s: "float | None" = None,
+        heartbeat_timeout_s: "float | None" = None,
+    ) -> dict[str, Any]:
         """Every figure of the paper, as ``{method name: result}``.
 
         With ``n_workers > 1`` and a store attached, the figures fan
@@ -241,6 +260,10 @@ class TitanStudy:
         them and computes (and persists) its share of figures.  Without
         a store the fan-out would ship a multi-gigabyte dataset pickle
         to every worker, so the computation stays serial in-process.
+
+        ``chunk_timeout_s``/``heartbeat_timeout_s`` arm the pool's
+        watchdog so a wedged worker is killed and its figures retried
+        (see :func:`repro.parallel.pool.parallel_map`).
         """
         if n_workers > 1 and self._use_store:
             from repro.cache import has_dataset, persist_dataset
@@ -254,7 +277,11 @@ class TitanStudy:
                 for name in todo
             ]
             for name, result in parallel_map(
-                _figure_remote, tasks, n_workers=n_workers
+                _figure_remote,
+                tasks,
+                n_workers=n_workers,
+                chunk_timeout_s=chunk_timeout_s,
+                heartbeat_timeout_s=heartbeat_timeout_s,
             ):
                 self._memo[name] = result
         return {name: getattr(self, name)() for name in FIGURES}

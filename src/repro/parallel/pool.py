@@ -1,4 +1,4 @@
-"""Process-pool map primitives with crash resilience.
+"""Process-pool map primitives with crash *and hang* resilience.
 
 Thin, dependency-free wrappers over :mod:`concurrent.futures` with the
 discipline HPC codes need:
@@ -11,10 +11,18 @@ discipline HPC codes need:
 * work is dispatched in **chunks** that are individually retried: a
   worker crash (OOM kill, segfault — the exact failure mode a
   fleet-scale replica sweep hits) fails only its chunk, which is
-  resubmitted to a fresh pool with exponential backoff; after
-  ``max_retries`` attempts the surviving chunks fall back to serial
-  in-process execution, so a deterministic error in the work function
-  still surfaces with a clean traceback;
+  resubmitted to a fresh pool with exponential backoff (capped at
+  ``max_backoff_s``); after ``max_retries`` attempts the surviving
+  chunks fall back to serial in-process execution, so a deterministic
+  error in the work function still surfaces with a clean traceback;
+* with ``chunk_timeout_s``/``heartbeat_timeout_s`` set, a **watchdog**
+  supervises in-flight chunks through per-chunk heartbeat files
+  (:mod:`repro.supervise.watchdog`): a worker that *wedges* — past its
+  hard deadline, or running but no longer advancing — is SIGKILLed and
+  its chunk resubmitted under the same retry/backoff path.  A chunk
+  still hanging on its final attempt raises :class:`ChunkTimeout`
+  rather than entering the serial fallback (which would hang the
+  parent on a deterministic hang);
 * results preserve input order regardless of completion order.
 """
 
@@ -23,14 +31,36 @@ from __future__ import annotations
 import concurrent.futures as cf
 import multiprocessing as mp
 import pickle
+import shutil
+import tempfile
 import time
 from collections.abc import Callable, Sequence
-from typing import TypeVar
+from pathlib import Path
+from typing import Optional, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "map_reduce"]
+__all__ = ["parallel_map", "map_reduce", "ChunkTimeout"]
+
+#: Bounds on the watchdog's poll interval (seconds).
+_MIN_POLL_S = 0.05
+_MAX_POLL_S = 1.0
+
+#: How long to wait for a killed pool's futures to settle before
+#: declaring them failed anyway.
+_KILL_SETTLE_S = 30.0
+
+
+class ChunkTimeout(TimeoutError):
+    """A chunk still hung after exhausting its supervised retries."""
+
+    def __init__(self, chunk_indices: Sequence[int], reason: str) -> None:
+        self.chunk_indices = tuple(chunk_indices)
+        super().__init__(
+            f"chunk(s) {list(self.chunk_indices)} hung ({reason}) and "
+            "did not recover within the retry budget"
+        )
 
 
 def _check_picklable(fn: Callable, role: str = "work function") -> None:
@@ -49,8 +79,108 @@ def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_hb(
+    fn: Callable[[T], R], chunk: list[T], hb_path: str
+) -> list[R]:
+    """Worker-side: like :func:`_run_chunk`, heartbeating per item.
+
+    The beacon is written at chunk start (so the parent can tell
+    "picked up" from "still queued") and after every completed item;
+    content is a bare progress counter — the parent supplies the clock.
+    """
+    from repro.supervise.watchdog import ChunkHeartbeat
+
+    beacon = ChunkHeartbeat(hb_path)
+    beacon.start()
+    out: list[R] = []
+    for n_done, item in enumerate(chunk, start=1):
+        out.append(fn(item))
+        beacon.beat(n_done)
+    return out
+
+
 def _chunked(items: list, chunk_len: int) -> list[list]:
     return [items[i:i + chunk_len] for i in range(0, len(items), chunk_len)]
+
+
+def _poll_interval(
+    chunk_timeout_s: Optional[float], heartbeat_timeout_s: Optional[float]
+) -> float:
+    shortest = min(
+        t for t in (chunk_timeout_s, heartbeat_timeout_s) if t is not None
+    )
+    return min(_MAX_POLL_S, max(_MIN_POLL_S, shortest / 5.0))
+
+
+def _watched_round(
+    pool: cf.ProcessPoolExecutor,
+    fn: Callable[[T], R],
+    chunks: list[list[T]],
+    pending: list[int],
+    hb_dir: Path,
+    results: dict[int, list[R]],
+    *,
+    chunk_timeout_s: Optional[float],
+    heartbeat_timeout_s: Optional[float],
+) -> tuple[list[int], set[int]]:
+    """One supervised submission round: ``(failed chunks, hung subset)``.
+
+    Completed chunks land in ``results``.  On the first hang the whole
+    worker pool is SIGKILLed (a wedged worker cannot be reclaimed any
+    other way) and every unfinished chunk is resubmitted by the caller;
+    only chunks the watchdog actually classified as hung are reported
+    in the hung subset — the rest are collateral of the shared pool.
+    """
+    from repro.supervise.watchdog import ChunkWatch, kill_executor_workers
+
+    futures = {
+        pool.submit(_run_chunk_hb, fn, chunks[i], str(hb_dir / f"{i}.hb")): i
+        for i in pending
+    }
+    watches = {i: ChunkWatch(hb_dir / f"{i}.hb") for i in pending}
+    poll_s = _poll_interval(chunk_timeout_s, heartbeat_timeout_s)
+    failed: list[int] = []
+    hung: set[int] = set()
+    not_done: set = set(futures)
+
+    def harvest(done: "set[cf.Future]") -> None:
+        for future in done:
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except Exception:
+                if index not in failed:
+                    failed.append(index)
+
+    while not_done:
+        done, not_done = cf.wait(
+            not_done, timeout=poll_s, return_when=cf.FIRST_COMPLETED
+        )
+        harvest(done)
+        if not not_done:
+            break
+        now = time.monotonic()
+        for future in not_done:
+            index = futures[future]
+            verdict = watches[index].is_hung(
+                now,
+                chunk_timeout_s=chunk_timeout_s,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+            )
+            if verdict is not None:
+                hung.add(index)
+        if hung:
+            # Reclaim the wedged workers; the executor marks every
+            # in-flight future broken, so the settle wait terminates.
+            kill_executor_workers(pool)
+            done, not_done = cf.wait(not_done, timeout=_KILL_SETTLE_S)
+            harvest(done)
+            for future in not_done:
+                index = futures[future]
+                if index not in results and index not in failed:
+                    failed.append(index)
+            break
+    return failed, hung
 
 
 def parallel_map(
@@ -61,15 +191,27 @@ def parallel_map(
     chunksize: int = 1,
     max_retries: int = 2,
     backoff_s: float = 0.0,
+    max_backoff_s: float = 30.0,
+    chunk_timeout_s: Optional[float] = None,
+    heartbeat_timeout_s: Optional[float] = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, optionally across processes.
 
     Results are returned in input order.  ``n_workers <= 1`` runs
-    serially in-process.  Failed chunks (worker crash *or* an exception
-    from ``fn``) are resubmitted to a fresh pool up to ``max_retries``
-    times, sleeping ``backoff_s * 2**attempt`` between rounds; chunks
-    still failing then run serially in-process — transient failures
-    heal, deterministic ones surface with a readable traceback.
+    serially in-process (supervision does not apply there).  Failed
+    chunks (worker crash *or* an exception from ``fn``) are resubmitted
+    to a fresh pool up to ``max_retries`` times, sleeping
+    ``min(backoff_s * 2**attempt, max_backoff_s)`` between rounds;
+    chunks still failing then run serially in-process — transient
+    failures heal, deterministic ones surface with a readable
+    traceback.
+
+    ``chunk_timeout_s`` (hard per-chunk deadline) and/or
+    ``heartbeat_timeout_s`` (max time between per-item progress beats)
+    arm the watchdog: hung chunks are killed and retried like crashes,
+    except a chunk hung on its *final* attempt raises
+    :class:`ChunkTimeout` — a deterministic hang must never be handed
+    to the serial fallback, which could block the parent forever.
     """
     items = list(items)
     if n_workers <= 1 or len(items) <= 1:
@@ -78,35 +220,61 @@ def parallel_map(
     n_workers = min(n_workers, len(items))
     chunks = _chunked(items, max(1, int(chunksize)))
     ctx = mp.get_context("spawn")  # fork-safety with numpy/BLAS threads
+    supervised = chunk_timeout_s is not None or heartbeat_timeout_s is not None
+    hb_dir = Path(tempfile.mkdtemp(prefix="repro-hb-")) if supervised else None
 
     results: dict[int, list[R]] = {}
     pending = list(range(len(chunks)))
-    for attempt in range(max_retries + 1):
-        if not pending:
-            break
-        if attempt > 0 and backoff_s > 0.0:
-            time.sleep(backoff_s * 2 ** (attempt - 1))
-        failed: list[int] = []
-        try:
-            with cf.ProcessPoolExecutor(
-                max_workers=min(n_workers, len(pending)), mp_context=ctx
-            ) as pool:
-                futures = {
-                    pool.submit(_run_chunk, fn, chunks[i]): i for i in pending
-                }
-                for future, i in futures.items():
-                    try:
-                        results[i] = future.result()
-                    except Exception:
-                        # fn raised, or the worker died and the pool is
-                        # broken: either way this chunk gets another shot
-                        # in a fresh pool (or serially, at the end).
-                        failed.append(i)
-        except Exception:
-            # Pool setup/teardown itself failed; everything unfinished
-            # is retried.
-            failed = [i for i in pending if i not in results]
-        pending = sorted(failed)
+    hung_last: set[int] = set()
+    try:
+        for attempt in range(max_retries + 1):
+            if not pending:
+                break
+            if attempt > 0 and backoff_s > 0.0:
+                time.sleep(min(backoff_s * 2 ** (attempt - 1), max_backoff_s))
+            hung_last = set()
+            failed: list[int] = []
+            try:
+                with cf.ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(pending)), mp_context=ctx
+                ) as pool:
+                    if supervised:
+                        failed, hung_last = _watched_round(
+                            pool, fn, chunks, pending, hb_dir, results,
+                            chunk_timeout_s=chunk_timeout_s,
+                            heartbeat_timeout_s=heartbeat_timeout_s,
+                        )
+                    else:
+                        futures = {
+                            pool.submit(_run_chunk, fn, chunks[i]): i
+                            for i in pending
+                        }
+                        for future, i in futures.items():
+                            try:
+                                results[i] = future.result()
+                            except Exception:
+                                # fn raised, or the worker died and the
+                                # pool is broken: either way this chunk
+                                # gets another shot in a fresh pool (or
+                                # serially, at the end).
+                                failed.append(i)
+            except Exception:
+                # Pool setup/teardown itself failed; everything
+                # unfinished is retried.
+                failed = [i for i in pending if i not in results]
+            pending = sorted(failed)
+    finally:
+        if hb_dir is not None:
+            shutil.rmtree(hb_dir, ignore_errors=True)
+
+    still_hung = sorted(hung_last & set(pending))
+    if still_hung:
+        reason = (
+            f"chunk_timeout_s={chunk_timeout_s}"
+            if chunk_timeout_s is not None
+            else f"heartbeat_timeout_s={heartbeat_timeout_s}"
+        )
+        raise ChunkTimeout(still_hung, reason)
 
     # Serial fallback: last resort for chunks that never succeeded.
     for i in pending:
@@ -122,6 +290,9 @@ def map_reduce(
     n_workers: int = 1,
     max_retries: int = 2,
     backoff_s: float = 0.0,
+    max_backoff_s: float = 30.0,
+    chunk_timeout_s: Optional[float] = None,
+    heartbeat_timeout_s: Optional[float] = None,
 ) -> R:
     """Map then fold: ``reduce_fn(reduce_fn(r0, r1), r2) ...``.
 
@@ -129,7 +300,8 @@ def map_reduce(
     The reducer is validated for picklability alongside the work
     function: today it folds in-process, but a reducer that cannot
     cross a process boundary is a latent bug for distributed folds and
-    fails fast here.
+    fails fast here.  Supervision options pass straight through to
+    :func:`parallel_map`.
     """
     if n_workers > 1 and len(items) > 1:
         _check_picklable(reduce_fn, role="reduce function")
@@ -139,6 +311,9 @@ def map_reduce(
         n_workers=n_workers,
         max_retries=max_retries,
         backoff_s=backoff_s,
+        max_backoff_s=max_backoff_s,
+        chunk_timeout_s=chunk_timeout_s,
+        heartbeat_timeout_s=heartbeat_timeout_s,
     )
     if not results:
         raise ValueError("map_reduce over an empty input")

@@ -1,0 +1,260 @@
+"""The process-level chaos sweep behind ``python -m repro chaos-run``.
+
+For every selected ``(fault mode, journal barrier)`` pair this driver
+launches a **real subprocess** running ``python -m repro run`` with
+:data:`~repro.chaos.procfault.PROCFAULT_ENV` armed, lets the injected
+fault kill (or cleanly fail) it at the exact barrier, then launches a
+second subprocess with ``--resume`` and no fault, and asserts:
+
+1. the faulted process died the way the mode promises (SIGKILL for
+   ``kill``/``torn``, a clean non-zero exit for ``enospc``);
+2. the resumed process exits 0; and
+3. the resumed run's ``--out`` document is **byte-identical** to a
+   reference cold run's.
+
+Each fault point gets a private cache directory, so every crash is
+exercised against genuinely cold state — the resume must survive on the
+journal plus whatever artifacts the dead process managed to persist.
+
+Subprocesses (not monkeypatched in-process faults) are the point: a
+SIGKILL mid-barrier exercises the journal's durability contract the way
+a node failure on Titan would — no ``atexit``, no ``finally``, nothing
+flushed that was not already fsynced.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.chaos.procfault import FAULT_MODES, PROCFAULT_ENV, FaultPlan
+
+__all__ = [
+    "FaultPointResult",
+    "SweepReport",
+    "count_barriers",
+    "run_sweep",
+]
+
+#: ``subprocess`` return code of a SIGKILLed child.
+_RC_SIGKILLED = -int(signal.SIGKILL)
+
+#: Exit code ``repro run`` uses for journal I/O failures (e.g. ENOSPC).
+RUN_IO_ERROR_EXIT = 1
+
+
+def count_barriers(n_figures: Optional[int] = None) -> int:
+    """Journal barriers in one full run: start + dataset + figures + end."""
+    if n_figures is None:
+        from repro.core.study import FIGURES
+
+        n_figures = len(FIGURES)
+    return n_figures + 3
+
+
+@dataclass(frozen=True)
+class FaultPointResult:
+    """Outcome of one fault point of the sweep."""
+
+    mode: str
+    barrier: int
+    fault_rc: Optional[int]
+    resume_rc: Optional[int]
+    identical: Optional[bool]
+    ok: bool
+    detail: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.mode}@{self.barrier}"
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything ``repro chaos-run`` asserted, for display and CI."""
+
+    scenario_argv: tuple[str, ...]
+    n_barriers: int
+    reference_sha256: str
+    results: tuple[FaultPointResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> tuple[FaultPointResult, ...]:
+        return tuple(result for result in self.results if not result.ok)
+
+
+def _pipeline_env(plan: Optional[FaultPlan]) -> dict[str, str]:
+    """Subprocess environment: this repro on ``PYTHONPATH``, fault armed.
+
+    The child must import the same checkout the parent runs from even
+    when the parent was launched via ``PYTHONPATH=src``; the cache dir
+    is always passed explicitly, so the env override is dropped.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop(PROCFAULT_ENV, None)
+    if plan is not None:
+        env[PROCFAULT_ENV] = plan.encode()
+    return env
+
+
+def _run_cli(
+    argv: Sequence[str],
+    env: dict[str, str],
+    timeout_s: float,
+) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout_s,
+    )
+
+
+def _expected_fault(mode: str, rc: int) -> Optional[str]:
+    """``None`` if the faulted process died as promised, else why not."""
+    if mode in ("kill", "torn"):
+        if rc != _RC_SIGKILLED:
+            return f"expected SIGKILL (rc {_RC_SIGKILLED}), got rc {rc}"
+    elif rc != RUN_IO_ERROR_EXIT:
+        return (
+            f"expected clean I/O-error exit (rc {RUN_IO_ERROR_EXIT}), "
+            f"got rc {rc}"
+        )
+    return None
+
+
+def run_sweep(
+    scenario_argv: Sequence[str],
+    workdir: str | Path,
+    *,
+    modes: Sequence[str] = FAULT_MODES,
+    barriers: Optional[Iterable[int]] = None,
+    timeout_s: float = 600.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Sweep every ``(mode, barrier)`` fault point; see the module doc.
+
+    ``scenario_argv`` is the scenario part of a ``repro run`` command
+    line (e.g. ``["--days", "20", "--seed", "7"]``); ``barriers``
+    defaults to every journal barrier of a full run.
+    """
+    import hashlib
+
+    say = progress if progress is not None else lambda _msg: None
+    workdir = Path(workdir)
+    barrier_list = (
+        list(range(count_barriers())) if barriers is None else
+        sorted(set(int(b) for b in barriers))
+    )
+
+    # Reference cold run: the byte-exact document every resume must match.
+    ref_dir = workdir / "reference"
+    ref_out = ref_dir / "document.json"
+    ref_argv = [
+        "run", *scenario_argv,
+        "--cache-dir", str(ref_dir / "cache"), "--out", str(ref_out),
+    ]
+    say(f"reference: repro {' '.join(ref_argv)}")
+    ref = _run_cli(ref_argv, _pipeline_env(None), timeout_s)
+    if ref.returncode != 0:
+        raise RuntimeError(
+            f"reference run failed (rc {ref.returncode}):\n{ref.stderr}"
+        )
+    ref_bytes = ref_out.read_bytes()
+    ref_sha = hashlib.sha256(ref_bytes).hexdigest()
+    say(f"reference document sha256 {ref_sha[:12]} ({len(ref_bytes)} bytes)")
+
+    results: list[FaultPointResult] = []
+    for mode in modes:
+        for barrier in barrier_list:
+            plan = FaultPlan(mode=mode, barrier=barrier)
+            point_dir = workdir / f"{mode}-{barrier:02d}"
+            out = point_dir / "document.json"
+            argv = [
+                "run", *scenario_argv,
+                "--cache-dir", str(point_dir / "cache"), "--out", str(out),
+            ]
+            result = _fault_point(
+                plan, argv, out, ref_bytes, timeout_s=timeout_s
+            )
+            results.append(result)
+            status = "ok" if result.ok else f"FAIL ({result.detail})"
+            say(f"{result.label}: fault rc {result.fault_rc}, "
+                f"resume rc {result.resume_rc}, "
+                f"identical {result.identical} -> {status}")
+    return SweepReport(
+        scenario_argv=tuple(scenario_argv),
+        n_barriers=count_barriers(),
+        reference_sha256=ref_sha,
+        results=tuple(results),
+    )
+
+
+def _fault_point(
+    plan: FaultPlan,
+    argv: Sequence[str],
+    out: Path,
+    ref_bytes: bytes,
+    *,
+    timeout_s: float,
+) -> FaultPointResult:
+    """Execute one faulted-run/resume pair and judge it."""
+    try:
+        faulted = _run_cli(argv, _pipeline_env(plan), timeout_s)
+    except subprocess.TimeoutExpired:
+        return FaultPointResult(
+            plan.mode, plan.barrier, None, None, None, False,
+            "faulted run timed out",
+        )
+    problem = _expected_fault(plan.mode, faulted.returncode)
+    if problem is not None:
+        return FaultPointResult(
+            plan.mode, plan.barrier, faulted.returncode, None, None, False,
+            problem,
+        )
+    try:
+        resumed = _run_cli(
+            [*argv, "--resume"], _pipeline_env(None), timeout_s
+        )
+    except subprocess.TimeoutExpired:
+        return FaultPointResult(
+            plan.mode, plan.barrier, faulted.returncode, None, None, False,
+            "resume timed out",
+        )
+    if resumed.returncode != 0:
+        tail = resumed.stderr.strip().splitlines()
+        return FaultPointResult(
+            plan.mode, plan.barrier, faulted.returncode, resumed.returncode,
+            None, False,
+            "resume failed: " + (tail[-1] if tail else "no stderr"),
+        )
+    try:
+        identical = out.read_bytes() == ref_bytes
+    except OSError:
+        return FaultPointResult(
+            plan.mode, plan.barrier, faulted.returncode, resumed.returncode,
+            None, False, "resume wrote no document",
+        )
+    return FaultPointResult(
+        plan.mode, plan.barrier, faulted.returncode, resumed.returncode,
+        identical, identical,
+        "" if identical else "resumed document differs from cold reference",
+    )

@@ -1,0 +1,284 @@
+"""The run manifest: an append-only, fsynced, checksummed JSONL journal.
+
+One journal records one supervised run.  Every record is a single JSON
+line carrying a contiguous ``seq`` number, a record ``type`` and a
+``sha256`` over the rest of the record, and every append is a
+**barrier**: the line is written, flushed and ``fsync``ed before the
+run proceeds.  The resulting durability contract:
+
+* a process killed *between* barriers leaves a journal whose valid
+  prefix exactly describes the completed work;
+* a process killed *during* a barrier (torn write, ENOSPC, power loss)
+  leaves at most one trailing invalid line, which
+  :func:`read_journal` detects (checksum or parse failure) and
+  :meth:`RunJournal.resume` truncates away — the stage whose record
+  was torn simply re-runs;
+* records are never rewritten in place, so two readers can never
+  disagree about the completed prefix.
+
+The journal stores *manifest* data only (stage names, content-addressed
+artifact keys, figure digests); the artifacts themselves live in the
+:class:`~repro.cache.store.ArtifactStore`, whose writes are atomic and
+self-checksummed.  Fault injection for the chaos harness enters through
+the ``fault_hook`` (see :mod:`repro.chaos.procfault`), which can raise
+``ENOSPC``, tear a write, or SIGKILL the process at an exact barrier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional, Protocol
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalRecord",
+    "FaultHook",
+    "read_journal",
+    "RunJournal",
+]
+
+#: Schema version written into every ``run_start`` record.
+JOURNAL_VERSION = 1
+
+#: Field names the envelope owns; payloads may not shadow them.
+_RESERVED = frozenset({"seq", "type", "sha256"})
+
+
+class JournalError(RuntimeError):
+    """The journal cannot be used as requested (mismatch, bad payload)."""
+
+
+class FaultHook(Protocol):
+    """Injection points around one journal barrier (chaos harness)."""
+
+    def before_commit(self, seq: int, fh: Any, data: bytes) -> None:
+        """Called with the encoded record before it is written."""
+
+    def after_commit(self, seq: int) -> None:
+        """Called after the record is durable on disk."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed journal line."""
+
+    seq: int
+    type: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+
+def _record_digest(body: dict[str, Any]) -> str:
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _encode_record(seq: int, rtype: str, payload: dict[str, Any]) -> bytes:
+    bad = _RESERVED & set(payload)
+    if bad:
+        raise JournalError(f"payload shadows reserved fields {sorted(bad)}")
+    body = {"seq": seq, "type": rtype, **payload}
+    try:
+        line = json.dumps(
+            {**body, "sha256": _record_digest(body)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise JournalError(f"unserializable journal payload: {exc}") from exc
+    if "\n" in line:  # pragma: no cover - json never emits raw newlines
+        raise JournalError("journal record contains a newline")
+    return line.encode("utf-8") + b"\n"
+
+
+def _decode_line(raw: bytes, expect_seq: int) -> Optional[JournalRecord]:
+    """One validated record, or ``None`` for a torn/garbled/stale line."""
+    if not raw.endswith(b"\n"):
+        return None  # torn write: the record never finished
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    digest = doc.pop("sha256", None)
+    if digest != _record_digest(doc):
+        return None
+    seq = doc.pop("seq", None)
+    rtype = doc.pop("type", None)
+    if seq != expect_seq or not isinstance(rtype, str):
+        return None
+    return JournalRecord(seq=seq, type=rtype, payload=doc)
+
+
+def read_journal(
+    path: str | Path,
+) -> tuple[list[JournalRecord], int, list[str]]:
+    """``(records, valid_bytes, problems)`` of a journal file.
+
+    Parsing stops at the first invalid line (bad JSON, checksum
+    mismatch, missing trailing newline, out-of-order ``seq``); anything
+    after it is reported in ``problems`` and excluded from
+    ``valid_bytes``.  A missing file is an empty journal, not an error.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, []
+    records: list[JournalRecord] = []
+    problems: list[str] = []
+    offset = 0
+    while offset < len(blob):
+        end = blob.find(b"\n", offset)
+        raw = blob[offset:] if end < 0 else blob[offset:end + 1]
+        record = _decode_line(raw, expect_seq=len(records))
+        if record is None:
+            problems.append(
+                f"invalid record at byte {offset} "
+                f"(expected seq {len(records)}); "
+                f"{len(blob) - offset} trailing byte(s) ignored"
+            )
+            break
+        records.append(record)
+        offset += len(raw)
+    return records, offset, problems
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a directory entry durable (file create/truncate)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class RunJournal:
+    """An open, appendable run manifest.
+
+    Construct via :meth:`create` (fresh run — truncates any previous
+    journal at the path) or :meth:`resume` (reads the valid prefix and
+    truncates a torn tail).  Every :meth:`append` is a fsynced barrier.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        fh: Any,
+        records: list[JournalRecord],
+        *,
+        fault_hook: Optional[FaultHook] = None,
+        truncated_tail: bool = False,
+    ) -> None:
+        self.path = path
+        self._fh = fh
+        self._records = records
+        self._fault_hook = fault_hook
+        #: True when :meth:`resume` had to discard a torn tail.
+        self.truncated_tail = truncated_tail
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str | Path, *, fault_hook: Optional[FaultHook] = None
+    ) -> "RunJournal":
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(path, "wb")
+        _fsync_dir(path.parent)
+        return cls(path, fh, [], fault_hook=fault_hook)
+
+    @classmethod
+    def resume(
+        cls, path: str | Path, *, fault_hook: Optional[FaultHook] = None
+    ) -> "RunJournal":
+        """Open for append after the last valid record.
+
+        A torn tail (crash mid-barrier) is truncated away; a missing
+        file resumes as an empty journal.
+        """
+        path = Path(path)
+        records, valid_bytes, problems = read_journal(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(path, "ab" if not path.exists() else "r+b")
+        fh.seek(0, os.SEEK_END)
+        torn = bool(problems)
+        if fh.tell() != valid_bytes:
+            fh.truncate(valid_bytes)
+            fh.seek(valid_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
+            torn = True
+        return cls(
+            path, fh, records, fault_hook=fault_hook, truncated_tail=torn
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[JournalRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def next_seq(self) -> int:
+        return len(self._records)
+
+    def of_type(self, rtype: str) -> Iterator[JournalRecord]:
+        return (r for r in self._records if r.type == rtype)
+
+    def last(self, rtype: str) -> Optional[JournalRecord]:
+        for record in reversed(self._records):
+            if record.type == rtype:
+                return record
+        return None
+
+    # -- the barrier ---------------------------------------------------------
+
+    def append(self, rtype: str, **payload: Any) -> JournalRecord:
+        """Commit one record durably; returns it once fsynced.
+
+        This is the journal **barrier**: on return the record is on
+        disk.  The fault hook may raise (injected ENOSPC propagates to
+        the caller with the journal still valid), tear the write, or
+        kill the process — exactly the faults ``repro chaos-run``
+        sweeps.
+        """
+        if self._fh is None or self._fh.closed:
+            raise JournalError(f"journal {self.path} is closed")
+        seq = len(self._records)
+        data = _encode_record(seq, rtype, payload)
+        if self._fault_hook is not None:
+            self._fault_hook.before_commit(seq, self._fh, data)
+        self._fh.write(data)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        if self._fault_hook is not None:
+            self._fault_hook.after_commit(seq)
+        record = JournalRecord(seq=seq, type=rtype, payload=dict(payload))
+        self._records.append(record)
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunJournal({str(self.path)!r}, n={len(self._records)})"

@@ -1,0 +1,110 @@
+"""Cooperative SIGINT/SIGTERM handling for supervised runs.
+
+A supervised pipeline must never die *between* a completed stage and
+its journal record — an interrupt that strikes mid-barrier would make
+the journal lie.  :class:`GracefulShutdown` therefore converts the
+first SIGINT/SIGTERM into a flag that the runner checks **at** each
+barrier (where the journal and artifact store are consistent by
+construction) and raises :class:`RunInterrupted` there; the run exits
+cleanly with a resumable journal.  A second signal escalates to an
+immediate :class:`KeyboardInterrupt` for operators who really mean it
+— even then the artifact store's atomic writes and the journal's
+torn-tail truncation keep the run resumable, it just may redo the
+stage that was in flight.
+
+Signal handlers can only be installed from the main thread; elsewhere
+(worker processes, test harnesses driving the runner from a thread)
+the guard degrades to a no-op and the default dispositions apply.
+"""
+
+from __future__ import annotations
+
+import signal
+from types import FrameType
+from typing import Any, Optional
+
+__all__ = ["RunInterrupted", "GracefulShutdown", "interrupt_exit_code"]
+
+_HANDLED = (signal.SIGINT, signal.SIGTERM)
+
+#: Conventional shell exit-code offset for death-by-signal.
+_SIGNAL_EXIT_OFFSET = 128
+
+
+def interrupt_exit_code(signum: int) -> int:
+    """The conventional exit code for a signal-interrupted process
+    (130 for SIGINT, 143 for SIGTERM)."""
+    return _SIGNAL_EXIT_OFFSET + int(signum)
+
+
+class RunInterrupted(RuntimeError):
+    """A supervised run stopped cleanly at a barrier after a signal."""
+
+    def __init__(self, signum: int) -> None:
+        name = signal.Signals(signum).name
+        super().__init__(f"run interrupted by {name}")
+        self.signum = int(signum)
+
+    @property
+    def exit_code(self) -> int:
+        return interrupt_exit_code(self.signum)
+
+
+class GracefulShutdown:
+    """Context manager deferring SIGINT/SIGTERM to journal barriers.
+
+    Usage::
+
+        with GracefulShutdown() as stop:
+            for stage in stages:
+                stop.check()        # raises RunInterrupted if signalled
+                run(stage)          # atomic w.r.t. the journal barrier
+                journal.append(...)
+    """
+
+    def __init__(self) -> None:
+        self._signum: Optional[int] = None
+        self._previous: dict[int, Any] = {}
+        self._installed = False
+
+    # -- handler -------------------------------------------------------------
+
+    def _handler(self, signum: int, _frame: Optional[FrameType]) -> None:
+        if self._signum is not None:
+            # Second signal: the operator insists.  Atomic store writes
+            # and journal tail truncation keep even this resumable.
+            raise KeyboardInterrupt
+        self._signum = signum
+
+    # -- context -------------------------------------------------------------
+
+    def __enter__(self) -> "GracefulShutdown":
+        try:
+            for signum in _HANDLED:
+                self._previous[signum] = signal.signal(signum, self._handler)
+            self._installed = True
+        except ValueError:
+            # Not the main thread: leave default dispositions in place.
+            self._previous.clear()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)
+            self._installed = False
+
+    # -- barrier check -------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._signum is not None
+
+    @property
+    def signum(self) -> Optional[int]:
+        return self._signum
+
+    def check(self) -> None:
+        """Raise :class:`RunInterrupted` if a signal has arrived."""
+        if self._signum is not None:
+            raise RunInterrupted(self._signum)

@@ -1,0 +1,135 @@
+"""Heartbeat files and hang detection for supervised worker pools.
+
+A worker that *crashes* already fails fast — its future raises and the
+pool's retry path resubmits the chunk.  A worker that *wedges* (NFS
+stall, deadlocked extension, livelocked loop) is worse: the future
+never completes and an unsupervised ``result()`` blocks forever.  This
+module supplies the pieces :func:`repro.parallel.pool.parallel_map`
+uses to close that gap:
+
+* :class:`ChunkHeartbeat` — worker side: one tiny file per chunk,
+  atomically rewritten with the number of items completed (written at
+  chunk start and after every item).  Content only, no timestamps —
+  the *parent* owns the clock, so workers stay free of wall-clock
+  reads;
+* :class:`ChunkWatch` — parent side: tracks when a chunk's heartbeat
+  first appeared and when it last advanced, against the parent's
+  monotonic clock, and classifies the chunk as past its hard deadline
+  (``chunk_timeout_s``) or stalled (``heartbeat_timeout_s``: total
+  runtime is fine, but no per-item progress);
+* :func:`kill_executor_workers` — SIGKILL every worker process of a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the only reliable
+  way to reclaim a wedged worker, after which unfinished chunks are
+  resubmitted to a fresh pool.
+
+This module lives outside the deterministic subtree on purpose:
+supervision reads real time (``time.monotonic``) while the supervised
+work stays a pure function of ``(scenario, seed, epoch)``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "ChunkHeartbeat",
+    "ChunkWatch",
+    "read_heartbeat",
+    "kill_executor_workers",
+]
+
+
+class ChunkHeartbeat:
+    """Worker-side progress beacon: one atomically-replaced counter file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def start(self) -> None:
+        """Mark the chunk as started (progress 0)."""
+        self._write(0)
+
+    def beat(self, n_done: int) -> None:
+        """Record ``n_done`` items completed so far."""
+        self._write(n_done)
+
+    def _write(self, value: int) -> None:
+        tmp = self.path.with_name(self.path.name + ".w")
+        tmp.write_text(str(int(value)))
+        os.replace(tmp, self.path)
+
+
+def read_heartbeat(path: str | Path) -> Optional[int]:
+    """The chunk's progress counter, or ``None`` if not started yet."""
+    try:
+        return int(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+class ChunkWatch:
+    """Parent-side hang detector for one in-flight chunk.
+
+    Feed it the parent's monotonic ``now`` on every poll; it reads the
+    heartbeat file and answers whether the chunk is hung.  A chunk
+    whose heartbeat has not appeared yet is *queued*, not hung — it
+    gets resubmitted for free when a genuinely hung chunk forces the
+    round to be killed.
+    """
+
+    def __init__(self, hb_path: str | Path) -> None:
+        self.hb_path = Path(hb_path)
+        self._started_at: Optional[float] = None
+        self._last_value: Optional[int] = None
+        self._last_advance: Optional[float] = None
+
+    def is_hung(
+        self,
+        now: float,
+        *,
+        chunk_timeout_s: Optional[float] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+    ) -> Optional[str]:
+        """``None`` while healthy, else ``"deadline"`` or ``"stalled"``."""
+        value = read_heartbeat(self.hb_path)
+        if value is None:
+            return None  # queued: the worker has not picked it up yet
+        if self._started_at is None:
+            self._started_at = now
+            self._last_value = value
+            self._last_advance = now
+        elif value != self._last_value:
+            self._last_value = value
+            self._last_advance = now
+        if (
+            chunk_timeout_s is not None
+            and now - self._started_at > chunk_timeout_s
+        ):
+            return "deadline"
+        if (
+            heartbeat_timeout_s is not None
+            and self._last_advance is not None
+            and now - self._last_advance > heartbeat_timeout_s
+        ):
+            return "stalled"
+        return None
+
+
+def kill_executor_workers(executor: object) -> int:
+    """SIGKILL every live worker process of a ProcessPoolExecutor.
+
+    Returns the number of processes signalled.  Reaches into the
+    executor's process table (there is no public API for "reclaim a
+    wedged worker"); tolerates processes that exit racing the kill.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    killed = 0
+    for process in list(processes.values()):
+        try:
+            process.kill()
+            killed += 1
+        except (OSError, ValueError, AttributeError):
+            continue
+    return killed

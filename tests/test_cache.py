@@ -283,6 +283,81 @@ class TestStore:
         assert set(info.by_kind) == {"text", "pickle", "npz"}
 
 
+class TestStoreHardening:
+    """Races with concurrent processes and crashed-writer debris."""
+
+    def test_open_sweeps_dead_writer_staging(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("k", "x", "text")
+        # A staging file whose embedded pid is genuinely dead.
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait(timeout=60)
+        stale = store._objects / f"k.art.tmp-{proc.pid}-0"
+        stale.write_bytes(b"partial")
+        reopened = ArtifactStore(tmp_path)
+        assert not stale.exists()
+        assert reopened.get("k") == "x"
+
+    def test_open_keeps_live_writer_staging(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        # pid 1 is always alive (signal-0 gives EPERM, not ESRCH), and
+        # our own pid is skipped outright: both must survive the sweep.
+        own = store._objects / f"a.art.tmp-{os.getpid()}-0"
+        init = store._objects / "b.art.tmp-1-0"
+        own.write_bytes(b"inflight")
+        init.write_bytes(b"inflight")
+        ArtifactStore(tmp_path)
+        assert own.exists() and init.exists()
+
+    def test_open_sweeps_garbled_staging_name(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        junk = store._objects / "k.art.tmp-notapid"
+        junk.write_bytes(b"junk")
+        ArtifactStore(tmp_path)
+        assert not junk.exists()
+
+    def test_entries_ignores_foreign_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("d/k", "x", "text")
+        (store._objects / "d" / "README").write_text("not an artifact")
+        assert [e.key for e in store.entries()] == ["d/k"]
+
+    def test_concurrent_clear_and_evict_never_raise(self, tmp_path):
+        # Multiple actors tearing down the same store must race
+        # gracefully: files vanishing between listing and stat/unlink
+        # are "already done", never an error.
+        import threading
+
+        store = ArtifactStore(tmp_path)
+        for i in range(120):
+            store.put(f"d{i % 8}/k{i}", "x" * 256, "text")
+        errors: list[Exception] = []
+
+        def teardown(mode: str) -> None:
+            try:
+                other = ArtifactStore(tmp_path)
+                if mode == "clear":
+                    other.clear()
+                else:
+                    other.evict(0)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=teardown, args=(mode,))
+            for mode in ("clear", "evict", "clear", "evict")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert ArtifactStore(tmp_path).entries() == []
+
+
 # ---------------------------------------------------------------------------
 # two-process atomicity
 # ---------------------------------------------------------------------------

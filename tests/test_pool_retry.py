@@ -1,17 +1,28 @@
-"""Crash-resilience tests for :mod:`repro.parallel.pool`.
+"""Crash- and hang-resilience tests for :mod:`repro.parallel.pool`.
 
 Worker processes are killed or raise transient errors via sentinel
 files (shared through the filesystem, since workers are separate
 processes): the first attempt per item fails, every retry succeeds.
 Deterministic failures must survive the retries and surface with a
 clean traceback from the serial fallback.
+
+The watchdog tests use the same sentinel pattern with ``time.sleep``
+hangs: a transiently hung worker must be SIGKILLed and its chunk
+retried; a deterministically hung chunk must raise
+:class:`~repro.parallel.pool.ChunkTimeout` instead of blocking the
+parent in the serial fallback.
 """
 
 import os
+import time
 
 import pytest
 
-from repro.parallel.pool import map_reduce, parallel_map
+from repro.parallel.pool import ChunkTimeout, map_reduce, parallel_map
+
+#: Far longer than any test timeout: a worker sleeping this long is
+#: "hung forever" unless the watchdog reclaims it.
+_FOREVER_S = 600.0
 
 
 def _double(x):
@@ -44,6 +55,46 @@ def _crash_once(item):
 
 def _always_bad(x):
     raise ValueError(f"bad item {x}")
+
+
+def _hang_once(item):
+    """Hang forever on the first call per sentinel, succeed afterwards."""
+    x, sentinel = item
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        time.sleep(_FOREVER_S)
+    return 2 * x
+
+
+def _hang_always(item):
+    """Hang forever whenever the marked item comes around."""
+    x, _sentinel = item
+    if x == 1:
+        time.sleep(_FOREVER_S)
+    return 2 * x
+
+
+def _slow_item(item):
+    """Steady but slow: per-item progress must keep the watchdog calm."""
+    x, _sentinel = item
+    time.sleep(0.3)
+    return 2 * x
+
+
+def _second_item_hangs_once(item):
+    """First item returns fast; the second hangs on the first attempt.
+
+    Exercises the *stalled-heartbeat* detector: the chunk's heartbeat
+    appears and advances once, then stops while the total runtime is
+    still within any reasonable deadline.
+    """
+    x, sentinel = item
+    if x % 2 == 1 and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        time.sleep(_FOREVER_S)
+    return 2 * x
 
 
 class TestRetry:
@@ -86,6 +137,69 @@ class TestMapSemantics:
 
     def test_empty_input(self):
         assert parallel_map(_double, [], n_workers=4) == []
+
+
+class TestWatchdog:
+    """Hang detection: deadlines, stalled heartbeats, ChunkTimeout."""
+
+    def test_hung_worker_killed_and_retried(self, tmp_path):
+        items = [(i, str(tmp_path / f"h{i}")) for i in range(4)]
+        out = parallel_map(
+            _hang_once, items, n_workers=2, chunk_timeout_s=1.5
+        )
+        assert out == [0, 2, 4, 6]
+
+    def test_deterministic_hang_raises_chunk_timeout(self, tmp_path):
+        items = [(i, str(tmp_path / f"d{i}")) for i in range(3)]
+        with pytest.raises(ChunkTimeout, match="hung"):
+            parallel_map(
+                _hang_always,
+                items,
+                n_workers=2,
+                max_retries=0,
+                chunk_timeout_s=1.0,
+            )
+
+    def test_steady_progress_not_killed(self, tmp_path):
+        # Total chunk runtime (2 items x 0.3s) exceeds the heartbeat
+        # window, but per-item beats keep arriving: no kill.
+        items = [(i, str(tmp_path / f"p{i}")) for i in range(4)]
+        out = parallel_map(
+            _slow_item,
+            items,
+            n_workers=2,
+            chunksize=2,
+            heartbeat_timeout_s=0.45,
+        )
+        assert out == [0, 2, 4, 6]
+
+    def test_stalled_heartbeat_killed_and_retried(self, tmp_path):
+        # The chunk starts fine (item 0 beats), then stalls on item 1:
+        # only the heartbeat detector can see this, and the retry heals.
+        items = [(i, str(tmp_path / f"s{i}")) for i in range(2)]
+        out = parallel_map(
+            _second_item_hangs_once,
+            items,
+            n_workers=2,
+            chunksize=2,
+            heartbeat_timeout_s=1.0,
+        )
+        assert out == [0, 2]
+
+    def test_backoff_capped(self, tmp_path):
+        # backoff_s=30 with an aggressive cap must not sleep 30s.
+        items = [(i, str(tmp_path / f"b{i}")) for i in range(2)]
+        t0 = time.monotonic()
+        out = parallel_map(
+            _flaky,
+            items,
+            n_workers=2,
+            max_retries=2,
+            backoff_s=30.0,
+            max_backoff_s=0.2,
+        )
+        assert out == [0, 2]
+        assert time.monotonic() - t0 < 20.0
 
 
 class TestMapReduce:
