@@ -206,6 +206,60 @@ def _measure_resume(scenario: list[str], seed: int) -> dict:
         }
 
 
+#: Required cold/warm ratio for the sweep engine's warm rerun: with the
+#: journal gone but the store intact, every point summary must come
+#: back from its content address instead of re-running the physics.
+_SWEEP_MIN_SPEEDUP = 5.0
+
+
+def _measure_sweep(seed: int) -> dict:
+    """Cold vs warm sensitivity-sweep wall time over a small grid.
+
+    Cold: six scenario points simulated end to end.  Warm: journal
+    deleted, store kept — the rerun must reassemble a byte-identical
+    table from cached summaries at least ``_SWEEP_MIN_SPEEDUP`` times
+    faster.  Both legs run serially so the ratio measures the cache,
+    not process-pool startup.
+    """
+    from repro.cache.store import ArtifactStore
+    from repro.sweep import RateMultipliers, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="bench",
+        base="smoke",
+        seed=seed,
+        days=3.0,
+        scales=(1.0, 2.0, 3.0),
+        rates=(RateMultipliers(), RateMultipliers(dbe=2.0)),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        store = ArtifactStore(Path(tmp) / "store")
+        t0 = time.perf_counter()
+        cold = run_sweep(spec, store)
+        cold_s = time.perf_counter() - t0
+        print(f"sweep cold ({spec.n_points} pts) {cold_s:8.2f} s")
+        Path(cold.journal_path).unlink()
+        t0 = time.perf_counter()
+        warm = run_sweep(spec, store)
+        warm_s = time.perf_counter() - t0
+        print(f"sweep warm rerun     {warm_s:8.2f} s")
+    identical = warm.table_sha256 == cold.table_sha256
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "n_points": spec.n_points,
+        "cold_s": round(cold_s, 3),
+        "warm_rerun_s": round(warm_s, 3),
+        "speedup_cold_over_warm": round(speedup, 2),
+        "min_speedup_required": _SWEEP_MIN_SPEEDUP,
+        "table_identical": bool(identical),
+        "pass": bool(
+            identical
+            and speedup >= _SWEEP_MIN_SPEEDUP
+            and all(p.warm for p in warm.points)
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--full", action="store_true",
@@ -248,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"gate smoke cold      {gate_cold_s:8.2f} s")
 
     resume = _measure_resume(scenario, args.seed)
+    sweep = _measure_sweep(args.seed)
 
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     identical = (
@@ -255,7 +310,12 @@ def main(argv: list[str] | None = None) -> int:
         == _analysis_lines(persist_out)
         == _analysis_lines(warm_out)
     ) and cold_rc == persist_rc == warm_rc
-    ok = identical and speedup >= args.min_speedup and resume["pass"]
+    ok = (
+        identical
+        and speedup >= args.min_speedup
+        and resume["pass"]
+        and sweep["pass"]
+    )
 
     doc = {
         "command": "observations",
@@ -279,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
                           " --gate",
         },
         "resume_s": resume,
+        "sweep_s": sweep,
         "speedup_cold_over_warm": round(speedup, 2),
         "min_speedup_required": args.min_speedup,
         "outputs_identical": identical,
@@ -289,7 +350,9 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"speedup {speedup:.1f}x (need >= {args.min_speedup}x), "
           f"outputs identical: {identical}, "
-          f"resume ok: {resume['pass']} -> {args.out}")
+          f"resume ok: {resume['pass']}, "
+          f"sweep warm {sweep['speedup_cold_over_warm']:.1f}x "
+          f"(need >= {_SWEEP_MIN_SPEEDUP}x) -> {args.out}")
     return 0 if ok else 1
 
 

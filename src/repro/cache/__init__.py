@@ -34,6 +34,7 @@ from repro.cache.keys import (
     canonical_json,
     dataset_key,
     scenario_fingerprint,
+    sweep_point_key,
 )
 from repro.cache.pipeline import (
     DATASET_LAYERS,
@@ -60,6 +61,7 @@ __all__ = [
     "scenario_fingerprint",
     "dataset_key",
     "artifact_key",
+    "sweep_point_key",
     "ArtifactStore",
     "ArtifactInfo",
     "StoreInfo",

@@ -38,6 +38,7 @@ __all__ = [
     "scenario_fingerprint",
     "dataset_key",
     "artifact_key",
+    "sweep_point_key",
 ]
 
 #: Code generation of the simulate → render → parse → analyze pipeline.
@@ -58,7 +59,7 @@ PIPELINE_EPOCH: int = 1
 #:     from repro.lint.flow import surface_digest
 #:     ctxs = [build_context(p) for p in iter_python_files(['src'])]
 #:     print(surface_digest(build_project(ctxs)))"
-PIPELINE_SURFACE: str = "c4a826f5d902b0cb"
+PIPELINE_SURFACE: str = "944ec36a9cf63b12"
 
 
 def canonical_encode(obj: Any) -> Any:
@@ -160,3 +161,34 @@ def dataset_key(scenario: Any, *, epoch: int = PIPELINE_EPOCH) -> str:
 def artifact_key(dataset_key_: str, layer: str) -> str:
     """Store key of one artifact layer inside a dataset's namespace."""
     return f"{dataset_key_}/{layer}"
+
+
+def sweep_point_key(
+    scenario: Any,
+    *,
+    corruption: float = 0.0,
+    ground_truth: bool = False,
+    epoch: int = PIPELINE_EPOCH,
+) -> str:
+    """The content address of one sweep point's summary artifact.
+
+    A sweep point is a scenario plus the *post-simulation* knobs that
+    shape its summary without entering the scenario fingerprint: the
+    observable-stream ``corruption`` level applied to the rendered
+    console log, and whether the summary was computed with simulator
+    ``ground_truth`` (the availability section exists only then).  Both
+    are folded into the key so summaries produced under different knobs
+    can never shadow each other; the scenario axes themselves arrive
+    through :func:`dataset_key`.
+    """
+    doc = json.dumps(
+        {
+            "corruption": float(corruption).hex(),
+            "dataset": dataset_key(scenario, epoch=epoch),
+            "ground_truth": bool(ground_truth),
+            "kind": "sweep-point",
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return _sha256_hex(doc)[:32]

@@ -197,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
              "verify byte-identical resume",
     )
     add_chaos_run_arguments(p_chaos_run)
+
+    from repro.sweep.cli import add_sweep_arguments
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="sharded multi-scenario sensitivity sweep "
+             "(run/status/report; crash-safe, resumable)",
+    )
+    add_sweep_arguments(p_sweep)
     return parser
 
 
@@ -438,6 +447,13 @@ def cmd_chaos_run(args) -> int:
     return _cmd_chaos_run(args)
 
 
+def cmd_sweep(args) -> int:
+    """Multi-scenario sensitivity sweep (see :mod:`repro.sweep.cli`)."""
+    from repro.sweep.cli import cmd_sweep as _cmd_sweep
+
+    return _cmd_sweep(args)
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "figures": cmd_figures,
@@ -451,6 +467,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "run": cmd_run,
     "chaos-run": cmd_chaos_run,
+    "sweep": cmd_sweep,
 }
 
 

@@ -232,6 +232,19 @@ class TitanStudy:
             self.store.put(key, result, "pickle")
         return result
 
+    def figure(self, name: str) -> Any:
+        """Compute (or fetch) one figure by its :data:`FIGURES` name.
+
+        The dynamic entry point the supervised runner and the sweep
+        engine iterate with; unknown names fail fast rather than
+        resolving to arbitrary attributes.
+        """
+        if name not in FIGURES:
+            raise KeyError(
+                f"unknown figure {name!r}; choose from {', '.join(FIGURES)}"
+            )
+        return getattr(self, name)()
+
     def invalidate(self, name: str) -> None:
         """Forget a figure's memoized *and* persisted result.
 

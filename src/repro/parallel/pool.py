@@ -122,6 +122,7 @@ def _watched_round(
     *,
     chunk_timeout_s: Optional[float],
     heartbeat_timeout_s: Optional[float],
+    emit: Optional[Callable[[int], None]] = None,
 ) -> tuple[list[int], set[int]]:
     """One supervised submission round: ``(failed chunks, hung subset)``.
 
@@ -151,6 +152,9 @@ def _watched_round(
             except Exception:
                 if index not in failed:
                     failed.append(index)
+            else:
+                if emit is not None:
+                    emit(index)
 
     while not_done:
         done, not_done = cf.wait(
@@ -194,6 +198,7 @@ def parallel_map(
     max_backoff_s: float = 30.0,
     chunk_timeout_s: Optional[float] = None,
     heartbeat_timeout_s: Optional[float] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, optionally across processes.
 
@@ -212,13 +217,47 @@ def parallel_map(
     except a chunk hung on its *final* attempt raises
     :class:`ChunkTimeout` — a deterministic hang must never be handed
     to the serial fallback, which could block the parent forever.
+
+    ``on_result`` streams completions back to the *parent* process as
+    they arrive: it is called exactly once per item, with
+    ``(item index, result)``, in completion order (input order when
+    serial).  A chunk that fails and is later retried reports its items
+    only on the attempt that finally succeeds — callbacks never observe
+    a result that subsequently disappears, which is what lets callers
+    journal each item as durable the moment they see it.  Exceptions
+    from the callback propagate to the caller.
     """
     items = list(items)
     if n_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        out: list[R] = []
+        for i, item in enumerate(items):
+            value = fn(item)
+            out.append(value)
+            if on_result is not None:
+                on_result(i, value)
+        return out
     _check_picklable(fn)
     n_workers = min(n_workers, len(items))
-    chunks = _chunked(items, max(1, int(chunksize)))
+    chunk_len = max(1, int(chunksize))
+    chunks = _chunked(items, chunk_len)
+    emitted: set[int] = set()
+    # A raising callback aborts the map; the holder lets the retry
+    # loop's broad pool-failure handler tell "the callback raised"
+    # apart from "the pool broke" and re-raise instead of retrying.
+    callback_error: list[BaseException] = []
+
+    def emit(chunk_index: int) -> None:
+        """Report one completed chunk's items upward, at most once."""
+        if on_result is None or chunk_index in emitted or callback_error:
+            return
+        emitted.add(chunk_index)
+        base = chunk_index * chunk_len
+        try:
+            for offset, value in enumerate(results[chunk_index]):
+                on_result(base + offset, value)
+        except BaseException as exc:
+            callback_error.append(exc)
+            raise
     ctx = mp.get_context("spawn")  # fork-safety with numpy/BLAS threads
     supervised = chunk_timeout_s is not None or heartbeat_timeout_s is not None
     hb_dir = Path(tempfile.mkdtemp(prefix="repro-hb-")) if supervised else None
@@ -243,13 +282,15 @@ def parallel_map(
                             pool, fn, chunks, pending, hb_dir, results,
                             chunk_timeout_s=chunk_timeout_s,
                             heartbeat_timeout_s=heartbeat_timeout_s,
+                            emit=emit,
                         )
                     else:
                         futures = {
                             pool.submit(_run_chunk, fn, chunks[i]): i
                             for i in pending
                         }
-                        for future, i in futures.items():
+                        for future in cf.as_completed(futures):
+                            i = futures[future]
                             try:
                                 results[i] = future.result()
                             except Exception:
@@ -258,7 +299,11 @@ def parallel_map(
                                 # gets another shot in a fresh pool (or
                                 # serially, at the end).
                                 failed.append(i)
+                            else:
+                                emit(i)
             except Exception:
+                if callback_error:
+                    raise callback_error[0]
                 # Pool setup/teardown itself failed; everything
                 # unfinished is retried.
                 failed = [i for i in pending if i not in results]
@@ -279,6 +324,7 @@ def parallel_map(
     # Serial fallback: last resort for chunks that never succeeded.
     for i in pending:
         results[i] = _run_chunk(fn, chunks[i])
+        emit(i)
     return [value for i in range(len(chunks)) for value in results[i]]
 
 

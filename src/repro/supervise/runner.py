@@ -57,6 +57,7 @@ __all__ = [
     "journal_path",
     "list_runs",
     "document_json",
+    "open_or_resume_journal",
     "run_study",
     "STAGE_DELAY_ENV",
 ]
@@ -268,7 +269,7 @@ def run_study(
                 )
             for name in FIGURES:
                 _pause(stop, delay_s)
-                digest = figure_digest(getattr(study, name)())
+                digest = figure_digest(study.figure(name))
                 key = artifact_key(dkey, f"fig/{name}")
                 record = done.get(name)
                 if record is None:
@@ -283,7 +284,7 @@ def run_study(
                     # digest (corruption or a swapped store): drop it,
                     # recompute the pure stage, journal a corrective record.
                     study.invalidate(name)
-                    digest = figure_digest(getattr(study, name)())
+                    digest = figure_digest(study.figure(name))
                     journal.append(
                         "stage",
                         name=name,
@@ -320,6 +321,48 @@ def run_study(
             journal.close()
 
 
+def open_or_resume_journal(
+    path: Path,
+    *,
+    start_type: str,
+    identity_field: str,
+    identity: str,
+    resume: bool,
+    explicit_id: bool,
+    fault_hook: Any,
+) -> tuple[RunJournal, bool]:
+    """Open a run's journal: resume a valid one, else start fresh.
+
+    A journal is resumable when its first record has ``start_type`` and
+    carries ``identity`` under ``identity_field`` — the study runner
+    matches on the dataset key, the sweep engine on the sweep key.
+    Resume accepts an empty/missing/torn-headed journal by falling back
+    to a fresh run (the chaos sweeps kill processes before the first
+    record commits, and "resume" must still complete).  An *explicitly
+    named* journal recorded for a different identity is a user error
+    and raises; an auto-derived id encodes the identity, so for the
+    default path a mismatch can only mean a stale file — start over.
+    """
+    if resume:
+        journal = RunJournal.resume(path, fault_hook=fault_hook)
+        start = journal.records[0] if journal.records else None
+        if (
+            start is not None
+            and start.type == start_type
+            and start.get(identity_field) == identity
+        ):
+            return journal, True
+        journal.close()
+        if start is not None and explicit_id:
+            raise JournalError(
+                f"journal {path} records run "
+                f"{start.get('run_id')!r} with {identity_field} "
+                f"{start.get(identity_field)!r}, not {identity!r}; refusing "
+                "to resume a different run under an explicit --run-id"
+            )
+    return RunJournal.create(path, fault_hook=fault_hook), False
+
+
 def _open_journal(
     path: Path,
     dkey: str,
@@ -329,30 +372,14 @@ def _open_journal(
     explicit_id: bool,
     fault_hook: Any,
 ) -> tuple[RunJournal, bool]:
-    """Open the run's journal: resume a valid one, else start fresh.
-
-    Resume accepts an empty/missing/torn-headed journal by falling back
-    to a fresh run (the sweep kills processes before the first record
-    commits, and "resume" must still complete).  An *explicitly named*
-    journal recorded for a different dataset is a user error and
-    raises; the auto-derived id encodes the dataset key, so for the
-    default path a mismatch can only mean a stale file — start over.
-    """
-    if resume:
-        journal = RunJournal.resume(path, fault_hook=fault_hook)
-        start = journal.records[0] if journal.records else None
-        if (
-            start is not None
-            and start.type == "run_start"
-            and start.get("dataset_key") == dkey
-        ):
-            return journal, True
-        journal.close()
-        if start is not None and explicit_id:
-            raise JournalError(
-                f"journal {path} records run "
-                f"{start.get('run_id')!r} for dataset "
-                f"{start.get('dataset_key')!r}, not {dkey!r}; refusing to "
-                "resume a different run under an explicit --run-id"
-            )
-    return RunJournal.create(path, fault_hook=fault_hook), False
+    """The study runner's journal-open: identity is the dataset key."""
+    del rid  # identity lives in the dataset key, not the display id
+    return open_or_resume_journal(
+        path,
+        start_type="run_start",
+        identity_field="dataset_key",
+        identity=dkey,
+        resume=resume,
+        explicit_id=explicit_id,
+        fault_hook=fault_hook,
+    )

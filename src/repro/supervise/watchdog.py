@@ -30,15 +30,39 @@ work stays a pure function of ``(scenario, seed, epoch)``.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = [
     "ChunkHeartbeat",
     "ChunkWatch",
+    "ManualClock",
     "read_heartbeat",
     "kill_executor_workers",
 ]
+
+
+class ManualClock:
+    """A hand-cranked monotonic clock for deterministic watchdog tests.
+
+    Drop-in for ``time.monotonic`` wherever a clock callable is
+    accepted: calling it returns the current reading, and the test
+    advances it explicitly — no sleeping, no racing the scheduler.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new reading."""
+        if dt < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += dt
+        return self._now
 
 
 class ChunkHeartbeat:
@@ -79,20 +103,33 @@ class ChunkWatch:
     round to be killed.
     """
 
-    def __init__(self, hb_path: str | Path) -> None:
+    def __init__(
+        self,
+        hb_path: str | Path,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.hb_path = Path(hb_path)
+        #: The monotonic time source consulted when ``is_hung`` is
+        #: called without an explicit ``now`` (tests inject a
+        #: :class:`ManualClock` here to make classification exact).
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
         self._started_at: Optional[float] = None
         self._last_value: Optional[int] = None
         self._last_advance: Optional[float] = None
 
     def is_hung(
         self,
-        now: float,
+        now: Optional[float] = None,
         *,
         chunk_timeout_s: Optional[float] = None,
         heartbeat_timeout_s: Optional[float] = None,
     ) -> Optional[str]:
         """``None`` while healthy, else ``"deadline"`` or ``"stalled"``."""
+        if now is None:
+            now = self.clock()
         value = read_heartbeat(self.hb_path)
         if value is None:
             return None  # queued: the worker has not picked it up yet

@@ -1,0 +1,251 @@
+"""Deterministic grid expansion: spec axes in, scenario points out.
+
+:func:`expand` turns a :class:`~repro.sweep.spec.SweepSpec` into the
+full cartesian grid of :class:`SweepPoint`\\ s in a fixed iteration
+order (scales, then rate multipliers, windows, bursts, corruption
+levels), so the same spec always yields the same indices, labels, seeds
+and keys — the property the journal, the cache and the golden anchor
+test all lean on.
+
+Two invariants matter more than the transforms themselves:
+
+* **anchor identity** — the all-baseline point reuses the base
+  scenario *object*: same fingerprint, same seed, same dataset key,
+  hence figure digests bit-identical to the single-scenario run;
+* **per-point RNG branches** — every non-baseline point derives its
+  seed through ``RngTree(base.seed).child(...)`` keyed by the exact
+  (``float.hex``) axis values, so points are statistically independent
+  replicas, stable across processes, and never collide with the base
+  stream.
+
+Machine scale is modeled at the *fleet-rate* level (see the spec module
+docstring): the simulated machine keeps Titan's physical 18,688 nodes
+while fleet-level arrival processes scale by ``s``; ``n_nodes`` records
+the modeled fleet size for the scaling-projection figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.cache.keys import dataset_key, sweep_point_key
+from repro.rng import RngTree
+from repro.sweep.spec import RateMultipliers, SweepSpec
+from repro.topology.machine import N_COMPUTE_NODES
+from repro.units import DAY
+
+__all__ = ["SweepPoint", "expand"]
+
+#: Fleet-level XID arrival-rate fields (events/hour) scaled by the
+#: machine-scale and ``xid`` multiplier axes.
+_XID_RATE_FIELDS = (
+    "xid13_burst_rate_per_hour",
+    "xid31_rate_per_hour",
+    "xid43_rate_per_hour",
+    "xid44_rate_per_hour",
+    "xid59_rate_per_hour",
+    "xid62_rate_per_hour",
+)
+
+#: Sparse driver errors calibrated as expected totals over the window —
+#: totals scale linearly with fleet size too.
+_XID_TOTAL_FIELDS = (
+    "xid32_expected_total",
+    "xid38_expected_total",
+    "xid42_expected_total",
+    "xid56_expected_total",
+    "xid57_expected_total",
+    "xid58_expected_total",
+    "xid64_expected_total",
+    "xid65_expected_total",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved grid point: axes plus the derived scenario."""
+
+    index: int
+    label: str
+    scale: float
+    rates: RateMultipliers
+    window_days: Optional[float]
+    burst: float
+    corruption: float
+    #: Ground-truth simulation requested (availability section).
+    availability: bool
+    scenario: Any
+    #: Modeled fleet size (``round(18688 * scale)``).
+    n_nodes: int
+    #: All scenario axes at baseline *and* no corruption: this point's
+    #: figures are the single-scenario golden trace.
+    is_anchor: bool
+
+    @property
+    def key(self) -> str:
+        """Content address of this point's summary artifact."""
+        return sweep_point_key(
+            self.scenario,
+            corruption=self.corruption,
+            ground_truth=self.availability,
+        )
+
+    @property
+    def dataset_key(self) -> str:
+        return dataset_key(self.scenario)
+
+
+def _branch_name(
+    scale: float,
+    rates: RateMultipliers,
+    window: Optional[float],
+    burst: float,
+) -> str:
+    """Exact (bit-level) axis encoding used for the RNG seed branch."""
+    return "|".join(
+        [
+            f"scale:{float(scale).hex()}",
+            f"dbe:{float(rates.dbe).hex()}",
+            f"otb:{float(rates.otb).hex()}",
+            f"sbe:{float(rates.sbe).hex()}",
+            f"xid:{float(rates.xid).hex()}",
+            f"window:{'base' if window is None else float(window).hex()}",
+            f"burst:{float(burst).hex()}",
+        ]
+    )
+
+
+def _human_label(
+    scale: float,
+    rates: RateMultipliers,
+    window: Optional[float],
+    burst: float,
+    corruption: float,
+) -> str:
+    parts: list[str] = []
+    if scale != 1.0:
+        parts.append(f"scale={scale:g}")
+    if not rates.is_baseline:
+        parts.append(rates.label())
+    if window is not None:
+        parts.append(f"window={window:g}d")
+    if burst != 1.0:
+        parts.append(f"burst={burst:g}")
+    if corruption != 0.0:
+        parts.append(f"corr={corruption:g}")
+    return ",".join(parts) if parts else "anchor"
+
+
+def _transformed_rates(
+    rates: Any, *, scale: float, rm: RateMultipliers, burst: float
+) -> Any:
+    """Apply the fleet-scale/category/burst factors to a RateConfig."""
+    changes: dict[str, Any] = {}
+    dbe_factor = scale * rm.dbe
+    if dbe_factor != 1.0:
+        # MTBF is the reciprocal of the fleet arrival rate.
+        changes["dbe_mtbf_hours"] = rates.dbe_mtbf_hours / dbe_factor
+    otb_factor = scale * rm.otb
+    if otb_factor != 1.0:
+        changes["otb_rate_before_fix_per_hour"] = (
+            rates.otb_rate_before_fix_per_hour * otb_factor
+        )
+        changes["otb_rate_after_fix_per_hour"] = (
+            rates.otb_rate_after_fix_per_hour * otb_factor
+        )
+    xid_factor = scale * rm.xid
+    if xid_factor != 1.0:
+        for name in _XID_RATE_FIELDS + _XID_TOTAL_FIELDS:
+            changes[name] = getattr(rates, name) * xid_factor
+    # SBE calibration is per-card, not per-fleet: only the explicit
+    # category multiplier and the burstiness axis touch it.
+    if rm.sbe != 1.0:
+        changes["sbe_rate_per_proneness_hour"] = (
+            rates.sbe_rate_per_proneness_hour * rm.sbe
+        )
+    if burst != 1.0:
+        changes["sbe_burst_rate_per_sqrt_proneness_hour"] = (
+            rates.sbe_burst_rate_per_sqrt_proneness_hour * burst
+        )
+    return rates.evolve(**changes) if changes else rates
+
+
+def _windowed(scenario: Any, window_days: Optional[float]) -> Any:
+    """Clamp the study window (and the workload/jobsnap that track it)."""
+    if window_days is None:
+        return scenario
+    end = scenario.start + window_days * DAY
+    changes: dict[str, Any] = {
+        "end": end,
+        "workload": replace(scenario.workload, end_time=end),
+    }
+    if not scenario.start <= scenario.jobsnap_deployed_at <= end:
+        # Keep the snapshot framework inside the (shorter) window, at
+        # the same relative position the smoke scenario uses.
+        changes["jobsnap_deployed_at"] = (
+            scenario.start + 0.5 * (end - scenario.start)
+        )
+    return scenario.evolve(**changes)
+
+
+def _point_scenario(
+    base: Any,
+    *,
+    scale: float,
+    rm: RateMultipliers,
+    window: Optional[float],
+    burst: float,
+) -> tuple[Any, bool]:
+    """``(scenario, scenario_axes_at_baseline)`` for one axis tuple."""
+    baseline = (
+        scale == 1.0 and rm.is_baseline and window is None and burst == 1.0
+    )
+    if baseline:
+        return base, True
+    scenario = _windowed(base, window)
+    branch = _branch_name(scale, rm, window, burst)
+    scenario = scenario.evolve(
+        name=f"{base.name}~{_human_label(scale, rm, window, burst, 0.0)}",
+        seed=RngTree(base.seed).child(f"sweep.{branch}").seed,
+        rates=_transformed_rates(
+            scenario.rates, scale=scale, rm=rm, burst=burst
+        ),
+    )
+    scenario.validate()
+    return scenario, False
+
+
+def expand(spec: SweepSpec) -> tuple[SweepPoint, ...]:
+    """The spec's full grid, in deterministic axis-major order."""
+    spec.validate()
+    base = spec.base_scenario()
+    points: list[SweepPoint] = []
+    index = 0
+    for scale in spec.scales:
+        for rm in spec.rates:
+            for window in spec.windows:
+                for burst in spec.bursts:
+                    scenario, baseline = _point_scenario(
+                        base, scale=scale, rm=rm, window=window, burst=burst
+                    )
+                    for corruption in spec.corruptions:
+                        points.append(
+                            SweepPoint(
+                                index=index,
+                                label=_human_label(
+                                    scale, rm, window, burst, corruption
+                                ),
+                                scale=float(scale),
+                                rates=rm,
+                                window_days=window,
+                                burst=float(burst),
+                                corruption=float(corruption),
+                                availability=spec.availability,
+                                scenario=scenario,
+                                n_nodes=round(N_COMPUTE_NODES * scale),
+                                is_anchor=baseline and corruption == 0.0,
+                            )
+                        )
+                        index += 1
+    return tuple(points)

@@ -17,10 +17,13 @@ import dataclasses
 import json
 import multiprocessing as mp
 import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cache import (
@@ -37,9 +40,10 @@ from repro.cache import (
     persist_dataset,
     scenario_fingerprint,
 )
-from repro.cache import serde
+from repro.cache import serde, sweep_point_key
 from repro.cache.store import _MAGIC
 from repro.sim import Scenario
+from repro.sweep import RateMultipliers, SweepSpec, expand, preset
 
 
 # ---------------------------------------------------------------------------
@@ -137,6 +141,98 @@ class TestKeys:
         )
         same = dataset_key(changed) == dataset_key(base)
         assert same == (mtbf == base.rates.dbe_mtbf_hours)
+
+
+class TestSweepPointKeys:
+    """The sweep-point content address: injective, pure, process-stable."""
+
+    def test_axis_flags_fold_into_key(self):
+        sc = Scenario.smoke(seed=3)
+        keys = {
+            sweep_point_key(sc),
+            sweep_point_key(sc, corruption=0.01),
+            sweep_point_key(sc, ground_truth=True),
+            sweep_point_key(sc, corruption=0.01, ground_truth=True),
+            sweep_point_key(sc, epoch=PIPELINE_EPOCH + 1),
+        }
+        assert len(keys) == 5
+        # purity: a freshly built equal scenario maps to the same key
+        assert sweep_point_key(Scenario.smoke(seed=3)) == sweep_point_key(sc)
+
+    def test_corruption_level_is_bit_exact(self):
+        sc = Scenario.smoke()
+        assert sweep_point_key(sc, corruption=0.1 + 0.2) != (
+            sweep_point_key(sc, corruption=0.3)
+        )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scales=st.lists(
+            st.floats(min_value=0.25, max_value=8.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=3, unique=True,
+        ),
+        dbe=st.floats(min_value=0.5, max_value=4.0,
+                      allow_nan=False, allow_infinity=False),
+        bursts=st.lists(
+            st.floats(min_value=0.5, max_value=4.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=2, unique=True,
+        ),
+        corruptions=st.lists(
+            st.floats(min_value=0.0, max_value=0.2,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=2, unique=True,
+        ),
+        ground_truth=st.booleans(),
+    )
+    def test_keys_injective_across_the_grid(
+        self, seed, scales, dbe, bursts, corruptions, ground_truth
+    ):
+        assume(dbe != 1.0)
+        spec = SweepSpec(
+            name="h",
+            base="smoke",
+            seed=seed,
+            days=5.0,
+            scales=tuple(scales),
+            rates=(RateMultipliers(), RateMultipliers(dbe=dbe)),
+            bursts=tuple(bursts),
+            corruptions=tuple(corruptions),
+            availability=ground_truth,
+        )
+        points = expand(spec)
+        keys = [p.key for p in points]
+        # distinct grid points never collide on one summary address...
+        assert len(set(keys)) == len(keys)
+        # ...and re-expanding the same spec reproduces them exactly.
+        assert [p.key for p in expand(spec)] == keys
+
+    def test_keys_stable_across_processes(self):
+        points = expand(preset("smoke"))
+        here = [p.key for p in points]
+        src_root = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        code = (
+            "from repro.sweep import expand, preset\n"
+            "print('\\n'.join(p.key for p in expand(preset('smoke'))))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert proc.stdout.split() == here
 
 
 # ---------------------------------------------------------------------------

@@ -6,23 +6,33 @@ processes): the first attempt per item fails, every retry succeeds.
 Deterministic failures must survive the retries and surface with a
 clean traceback from the serial fallback.
 
-The watchdog tests use the same sentinel pattern with ``time.sleep``
-hangs: a transiently hung worker must be SIGKILLed and its chunk
-retried; a deterministically hung chunk must raise
-:class:`~repro.parallel.pool.ChunkTimeout` instead of blocking the
-parent in the serial fallback.
+The watchdog integration tests use the same sentinel pattern with
+workers that block on an event that never fires: a transiently hung
+worker must be SIGKILLed and its chunk retried; a deterministically
+hung chunk must raise :class:`~repro.parallel.pool.ChunkTimeout`
+instead of blocking the parent in the serial fallback.  The
+deadline-vs-stalled *classification* itself is tested against a
+:class:`~repro.supervise.watchdog.ManualClock` — hand-cranked time,
+no sleeps, no scheduler races.
 """
 
 import os
+import threading
 import time
 
 import pytest
 
 from repro.parallel.pool import ChunkTimeout, map_reduce, parallel_map
+from repro.supervise.watchdog import ChunkHeartbeat, ChunkWatch, ManualClock
 
-#: Far longer than any test timeout: a worker sleeping this long is
+#: Far longer than any test timeout: a worker blocking this long is
 #: "hung forever" unless the watchdog reclaims it.
 _FOREVER_S = 600.0
+
+
+def _block_forever():
+    """Hang without polling: wait on an event nobody will ever set."""
+    threading.Event().wait(_FOREVER_S)
 
 
 def _double(x):
@@ -63,7 +73,7 @@ def _hang_once(item):
     if not os.path.exists(sentinel):
         with open(sentinel, "w") as fh:
             fh.write("1")
-        time.sleep(_FOREVER_S)
+        _block_forever()
     return 2 * x
 
 
@@ -71,14 +81,7 @@ def _hang_always(item):
     """Hang forever whenever the marked item comes around."""
     x, _sentinel = item
     if x == 1:
-        time.sleep(_FOREVER_S)
-    return 2 * x
-
-
-def _slow_item(item):
-    """Steady but slow: per-item progress must keep the watchdog calm."""
-    x, _sentinel = item
-    time.sleep(0.3)
+        _block_forever()
     return 2 * x
 
 
@@ -93,7 +96,7 @@ def _second_item_hangs_once(item):
     if x % 2 == 1 and not os.path.exists(sentinel):
         with open(sentinel, "w") as fh:
             fh.write("1")
-        time.sleep(_FOREVER_S)
+        _block_forever()
     return 2 * x
 
 
@@ -160,19 +163,6 @@ class TestWatchdog:
                 chunk_timeout_s=1.0,
             )
 
-    def test_steady_progress_not_killed(self, tmp_path):
-        # Total chunk runtime (2 items x 0.3s) exceeds the heartbeat
-        # window, but per-item beats keep arriving: no kill.
-        items = [(i, str(tmp_path / f"p{i}")) for i in range(4)]
-        out = parallel_map(
-            _slow_item,
-            items,
-            n_workers=2,
-            chunksize=2,
-            heartbeat_timeout_s=0.45,
-        )
-        assert out == [0, 2, 4, 6]
-
     def test_stalled_heartbeat_killed_and_retried(self, tmp_path):
         # The chunk starts fine (item 0 beats), then stalls on item 1:
         # only the heartbeat detector can see this, and the retry heals.
@@ -200,6 +190,100 @@ class TestWatchdog:
         )
         assert out == [0, 2]
         assert time.monotonic() - t0 < 20.0
+
+
+class TestWatchdogClassification:
+    """Deadline-vs-stalled decisions against a hand-cranked clock.
+
+    These replace the old wall-clock "steady but slow worker" test:
+    instead of racing real 0.3 s sleeps against a 0.45 s heartbeat
+    window (flaky under load), the clock is advanced explicitly and
+    every classification is exact.
+    """
+
+    def _watch(self, tmp_path):
+        hb = ChunkHeartbeat(tmp_path / "c.hb")
+        clock = ManualClock()
+        return hb, clock, ChunkWatch(tmp_path / "c.hb", clock=clock)
+
+    def test_steady_progress_never_killed(self, tmp_path):
+        # Each item takes longer than the heartbeat window would allow
+        # for silence, but per-item beats keep arriving: total runtime
+        # vastly exceeds the window, classification stays healthy.
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        for item in range(10):
+            clock.advance(0.3)
+            assert (
+                watch.is_hung(heartbeat_timeout_s=0.45) is None
+            ), f"killed at item {item}"
+            hb.beat(item + 1)
+
+    def test_silence_past_window_is_stalled(self, tmp_path):
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        assert watch.is_hung(heartbeat_timeout_s=0.45) is None
+        clock.advance(0.45)  # exactly at the window: not yet hung
+        assert watch.is_hung(heartbeat_timeout_s=0.45) is None
+        clock.advance(0.001)  # strictly past it: stalled
+        assert watch.is_hung(heartbeat_timeout_s=0.45) == "stalled"
+
+    def test_progress_resets_the_stall_window(self, tmp_path):
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        watch.is_hung(heartbeat_timeout_s=1.0)
+        clock.advance(0.9)
+        hb.beat(1)
+        assert watch.is_hung(heartbeat_timeout_s=1.0) is None
+        clock.advance(0.9)  # 1.8s total, 0.9s since the beat
+        assert watch.is_hung(heartbeat_timeout_s=1.0) is None
+        clock.advance(0.2)  # 1.1s since the beat
+        assert watch.is_hung(heartbeat_timeout_s=1.0) == "stalled"
+
+    def test_progress_does_not_extend_the_deadline(self, tmp_path):
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        watch.is_hung(chunk_timeout_s=2.0)
+        for item in range(4):
+            clock.advance(0.6)
+            hb.beat(item + 1)
+        # 2.4s of steady progress: healthy by heartbeat, dead by deadline.
+        assert watch.is_hung(chunk_timeout_s=2.0) == "deadline"
+
+    def test_deadline_outranks_stall_when_both_exceeded(self, tmp_path):
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        watch.is_hung(chunk_timeout_s=1.0, heartbeat_timeout_s=1.0)
+        clock.advance(5.0)
+        assert (
+            watch.is_hung(chunk_timeout_s=1.0, heartbeat_timeout_s=1.0)
+            == "deadline"
+        )
+
+    def test_queued_chunk_never_hung(self, tmp_path):
+        # No heartbeat file yet: the worker has not picked the chunk
+        # up, so no amount of elapsed time means "hung".
+        clock = ManualClock()
+        watch = ChunkWatch(tmp_path / "missing.hb", clock=clock)
+        clock.advance(1e9)
+        assert watch.is_hung(chunk_timeout_s=0.001) is None
+
+    def test_explicit_now_still_wins(self, tmp_path):
+        # The pool passes its own monotonic reading; an injected clock
+        # must not shadow an explicit ``now``.
+        hb, clock, watch = self._watch(tmp_path)
+        hb.start()
+        watch.is_hung(100.0, chunk_timeout_s=5.0)
+        clock.advance(1e6)  # ignored: explicit now is authoritative
+        assert watch.is_hung(101.0, chunk_timeout_s=5.0) is None
+        assert watch.is_hung(106.0, chunk_timeout_s=5.0) == "deadline"
+
+    def test_manual_clock_is_monotonic(self):
+        clock = ManualClock(start=7.0)
+        assert clock() == 7.0
+        assert clock.advance(1.5) == 8.5
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance(-0.1)
 
 
 class TestMapReduce:

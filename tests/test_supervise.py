@@ -54,7 +54,12 @@ from repro.supervise.runner import (
     run_study,
 )
 from repro.supervise.signals import interrupt_exit_code
-from repro.supervise.watchdog import ChunkHeartbeat, ChunkWatch, read_heartbeat
+from repro.supervise.watchdog import (
+    ChunkHeartbeat,
+    ChunkWatch,
+    ManualClock,
+    read_heartbeat,
+)
 
 _SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
 
@@ -294,6 +299,24 @@ class TestWatchdogPrimitives:
         hb.beat(1)
         assert watch.is_hung(103.0, heartbeat_timeout_s=2.0) is None
         assert watch.is_hung(105.5, heartbeat_timeout_s=2.0) == "stalled"
+
+    def test_injected_clock_drives_classification(self, tmp_path):
+        # ``is_hung()`` with no explicit ``now`` falls back to the
+        # injected clock; cranking it reproduces deadline/stall
+        # verdicts without any real elapsed time.
+        hb = ChunkHeartbeat(tmp_path / "c.hb")
+        hb.start()
+        clock = ManualClock(start=50.0)
+        watch = ChunkWatch(tmp_path / "c.hb", clock=clock)
+        assert watch.is_hung(chunk_timeout_s=5.0) is None
+        clock.advance(4.0)
+        assert watch.is_hung(chunk_timeout_s=5.0) is None
+        clock.advance(1.5)
+        assert watch.is_hung(chunk_timeout_s=5.0) == "deadline"
+
+    def test_default_clock_is_monotonic_time(self, tmp_path):
+        watch = ChunkWatch(tmp_path / "c.hb")
+        assert watch.clock is time.monotonic
 
 
 # ---------------------------------------------------------------------------
