@@ -29,6 +29,12 @@ real subprocess (a SIGKILL cannot be taken in-process), and the timed
 byte-identical to the cold one.  The resume should cost roughly one
 warm run: journaled stages are verified, not recomputed.
 
+A ``memory_s`` section measures peak RSS (``getrusage`` in fresh
+subprocesses) of the console round-trip at scale 1 vs scale 4, streamed
+and monolithic, and gates the streamed path: quadrupling the event rate
+must not grow the streamed peak past ``memory_s.max_ratio_allowed``
+times the scale-1 peak.  ``--memory-gate`` re-checks just that budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/measure_pipeline.py --days 45
@@ -206,6 +212,152 @@ def _measure_resume(scenario: list[str], seed: int) -> dict:
         }
 
 
+#: Window for the memory probes (kept at the smoke default so the
+#: streamed/monolithic contrast is cheap to regenerate).
+_MEMORY_PROBE_DAYS = 45.0
+
+#: Allowed streamed peak-RSS growth from scale 1 to scale 4.  The
+#: console round-trip is O(chunk) either way once streamed; what grows
+#: is the ground-truth event arrays (4x the fleet event rate), which
+#: stay well under 2x total process RSS on top of the interpreter+numpy
+#: baseline.  The monolithic path is *recorded* for contrast but not
+#: gated — materializing the full log text is exactly what this budget
+#: exists to avoid.
+_MEMORY_MAX_RATIO = 2.0
+
+
+def _memory_probe_main(scale: float, streaming: bool, seed: int) -> int:
+    """Child-process body of one memory probe.
+
+    Runs one scaled smoke scenario end to end (simulate → console
+    round-trip → parsed events) and prints a JSON line with the
+    process-lifetime peak RSS from ``getrusage`` — measured in a fresh
+    interpreter so probes never share allocator high-water marks.
+    """
+    import resource
+
+    from repro.sim.simulation import TitanSimulation
+    from repro.sweep import SweepSpec
+    from repro.sweep.grid import expand
+
+    spec = SweepSpec(
+        name="memprobe", base="smoke", seed=seed,
+        days=_MEMORY_PROBE_DAYS, scales=(scale,),
+    )
+    point = expand(spec)[0]
+    t0 = time.perf_counter()
+    dataset = TitanSimulation(point.scenario, streaming=streaming).run()
+    stats = dataset.parse_stats
+    seconds = time.perf_counter() - t0
+    print(json.dumps({
+        "scale": scale,
+        "streaming": bool(streaming),
+        "lines": stats.total_lines,
+        "events": len(dataset.parsed_events.time),
+        "ru_maxrss_kib": resource.getrusage(
+            resource.RUSAGE_SELF
+        ).ru_maxrss,
+        "seconds": round(seconds, 3),
+    }))
+    return 0
+
+
+def _run_memory_probe(scale: float, streaming: bool, seed: int) -> dict:
+    """Run one probe in a fresh subprocess; return its JSON report."""
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, str(Path(__file__).resolve()),
+            "--memory-probe",
+            "--probe-scale", str(scale),
+            "--probe-streaming", str(int(streaming)),
+            "--seed", str(seed),
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    doc = json.loads(proc.stdout.strip().splitlines()[-1])
+    doc["ru_maxrss_mib"] = round(doc.pop("ru_maxrss_kib") / 1024.0, 1)
+    return doc
+
+
+def _measure_memory(seed: int) -> dict:
+    """Peak-RSS contrast of the streamed console round-trip vs scale.
+
+    Four fresh-subprocess probes (scale 1 and 4, streamed and
+    monolithic); the gate is on the *streamed* path only: its scale-4
+    peak must stay within ``_MEMORY_MAX_RATIO`` of its scale-1 peak,
+    i.e. quadrupling the event rate must not quadruple memory.
+    """
+    probes: dict[str, dict] = {}
+    for scale in (1.0, 4.0):
+        for streaming in (True, False):
+            name = (f"scale{scale:g}_"
+                    f"{'streamed' if streaming else 'monolithic'}")
+            probes[name] = _run_memory_probe(scale, streaming, seed)
+            print(f"memory {name:<22} "
+                  f"{probes[name]['ru_maxrss_mib']:8.1f} MiB  "
+                  f"({probes[name]['lines']} lines, "
+                  f"{probes[name]['seconds']:.2f} s)")
+    low = probes["scale1_streamed"]["ru_maxrss_mib"]
+    high = probes["scale4_streamed"]["ru_maxrss_mib"]
+    ratio = high / low if low > 0 else float("inf")
+    return {
+        "days": _MEMORY_PROBE_DAYS,
+        "seed": seed,
+        "probes": probes,
+        "streamed_scale4_over_scale1": round(ratio, 2),
+        "max_ratio_allowed": _MEMORY_MAX_RATIO,
+        "pass": bool(ratio <= _MEMORY_MAX_RATIO),
+        "check_with": "PYTHONPATH=src python benchmarks/measure_pipeline.py"
+                      " --memory-gate",
+    }
+
+
+def run_memory_gate(out: Path) -> int:
+    """CI memory gate: streamed peak RSS must stay flat across scale.
+
+    Re-runs only the two streamed probes and fails when the scale-4 /
+    scale-1 peak-RSS ratio exceeds the committed ``memory_s`` budget —
+    the regression this guards is someone re-materializing the full log
+    text somewhere inside the streamed path.
+    """
+    if not out.exists():
+        print(f"memory-gate: no committed benchmark at {out}",
+              file=sys.stderr)
+        return 2
+    doc = json.loads(out.read_text())
+    memory = doc.get("memory_s")
+    if not memory:
+        print(f"memory-gate: {out} has no memory_s section; regenerate it",
+              file=sys.stderr)
+        return 2
+    seed = int(memory["seed"])
+    max_ratio = float(memory["max_ratio_allowed"])
+    low = _run_memory_probe(1.0, True, seed)
+    high = _run_memory_probe(4.0, True, seed)
+    ratio = (
+        high["ru_maxrss_mib"] / low["ru_maxrss_mib"]
+        if low["ru_maxrss_mib"] > 0 else float("inf")
+    )
+    print(f"memory-gate: streamed scale-1 {low['ru_maxrss_mib']:.1f} MiB, "
+          f"scale-4 {high['ru_maxrss_mib']:.1f} MiB "
+          f"(ratio {ratio:.2f}, allowed {max_ratio:.2f})")
+    if ratio > max_ratio:
+        print("memory-gate: FAIL (streamed peak RSS no longer flat "
+              "across the scale axis)")
+        return 1
+    print("memory-gate: OK")
+    return 0
+
+
 #: Required cold/warm ratio for the sweep engine's warm rerun: with the
 #: journal gone but the store intact, every point summary must come
 #: back from its content address instead of re-running the physics.
@@ -273,8 +425,23 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--gate", action="store_true",
                     help="CI mode: time the smoke cold run against the "
                          "committed gate budget instead of regenerating")
+    ap.add_argument("--memory-gate", action="store_true",
+                    help="CI mode: check streamed peak RSS stays flat "
+                         "across the scale axis (memory_s budget)")
+    ap.add_argument("--memory-probe", action="store_true",
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--probe-scale", type=float, default=1.0,
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--probe-streaming", type=int, default=1,
+                    help=argparse.SUPPRESS)
     args = ap.parse_args(argv)
 
+    if args.memory_probe:
+        return _memory_probe_main(
+            args.probe_scale, bool(args.probe_streaming), args.seed
+        )
+    if args.memory_gate:
+        return run_memory_gate(args.out)
     if args.gate:
         return run_gate(args.out)
 
@@ -303,6 +470,7 @@ def main(argv: list[str] | None = None) -> int:
 
     resume = _measure_resume(scenario, args.seed)
     sweep = _measure_sweep(args.seed)
+    memory = _measure_memory(args.seed)
 
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     identical = (
@@ -315,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         and speedup >= args.min_speedup
         and resume["pass"]
         and sweep["pass"]
+        and memory["pass"]
     )
 
     doc = {
@@ -340,6 +509,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "resume_s": resume,
         "sweep_s": sweep,
+        "memory_s": memory,
         "speedup_cold_over_warm": round(speedup, 2),
         "min_speedup_required": args.min_speedup,
         "outputs_identical": identical,
@@ -352,7 +522,9 @@ def main(argv: list[str] | None = None) -> int:
           f"outputs identical: {identical}, "
           f"resume ok: {resume['pass']}, "
           f"sweep warm {sweep['speedup_cold_over_warm']:.1f}x "
-          f"(need >= {_SWEEP_MIN_SPEEDUP}x) -> {args.out}")
+          f"(need >= {_SWEEP_MIN_SPEEDUP}x), "
+          f"streamed RSS x{memory['streamed_scale4_over_scale1']:.2f} "
+          f"at scale 4 (cap x{_MEMORY_MAX_RATIO}) -> {args.out}")
     return 0 if ok else 1
 
 

@@ -21,6 +21,16 @@ layer           kind    contents
 ``trace``       pickle  the columnar job accounting trace
 ==============  ======  ==================================================
 
+With ``streaming=True`` the console layer is persisted *sharded*
+instead — ``console.manifest`` (json) plus ``console.NNNNNN`` text
+shards, whole-line aligned, under the **same dataset key** — so a
+scale-4 stream never exists as one resident string.  Loads accept
+either form (monolithic preferred when both exist): shards are
+checksum-verified eagerly at load, one at a time, and the reconstructed
+``console_text`` reassembles lazily, only if something actually asks
+for the monolithic string.  Reassembly is byte-identical to the
+monolithic layer.
+
 and :func:`load_or_simulate` reconstructs a :class:`CachedDataset` from
 them — skipping simulation, console rendering *and* parsing — or
 transparently falls back to a cold :class:`TitanSimulation` run (and
@@ -35,11 +45,17 @@ via ``require_ground_truth=True``, which always simulates.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from repro import perf
 from repro.cache.keys import PIPELINE_EPOCH, dataset_key
 from repro.cache.store import ArtifactStore
+from repro.stream.shards import (
+    DEFAULT_SHARD_LINES,
+    ShardCorruption,
+    ShardInfo,
+    ShardManifest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -86,6 +102,14 @@ def _layer_key(dkey: str, layer: str) -> str:
     return f"{dkey}/layer/{layer}"
 
 
+#: Layer name of the sharded-console manifest artifact.
+_CONSOLE_MANIFEST_LAYER = "console.manifest"
+
+
+def _console_shard_layer(index: int) -> str:
+    return f"console.{index:06d}"
+
+
 class CachedDataset:
     """A dataset reconstructed from cached telemetry layers.
 
@@ -104,7 +128,7 @@ class CachedDataset:
         self,
         scenario: "Scenario",
         *,
-        console_text: str,
+        console_text: "Union[str, Callable[[], str]]",
         parsed: "tuple[EventLog, ParseStats]",
         nvsmi_table: "dict[str, np.ndarray]",
         jobsnap_records: "list[JobSnapshotRecord]",
@@ -115,7 +139,15 @@ class CachedDataset:
         self.scenario = scenario
         self.machine = TitanMachine(folded_torus=scenario.folded_torus)
         self.trace = trace
-        self._console_text = console_text
+        # ``console_text`` may be a thunk: sharded loads defer the
+        # monolithic reassembly until something actually needs the
+        # whole string (the parsed layer covers every analysis path).
+        if callable(console_text):
+            self._console_text: Optional[str] = None
+            self._console_source: Optional[Callable[[], str]] = console_text
+        else:
+            self._console_text = console_text
+            self._console_source = None
         self._parsed = parsed
         self._nvsmi_table = nvsmi_table
         self._jobsnap = jobsnap_records
@@ -125,6 +157,9 @@ class CachedDataset:
 
     @property
     def console_text(self) -> str:
+        if self._console_text is None:
+            assert self._console_source is not None
+            self._console_text = self._console_source()
         return self._console_text
 
     @property
@@ -230,16 +265,87 @@ class CachedDataset:
         )
 
 
+def _console_line_source(dataset: Any) -> Any:
+    """Bounded-memory line iterator over a dataset's console stream.
+
+    A simulated dataset that has not materialized its text renders
+    straight from the injector's events (the exact :meth:`lines`
+    sequence); anything else splits the already-resident string.
+    """
+    from repro.sim.simulation import SimulationDataset
+
+    if (
+        isinstance(dataset, SimulationDataset)
+        and dataset._console_text is None
+    ):
+        from repro.telemetry.console import ConsoleLogWriter
+
+        return ConsoleLogWriter(dataset.machine).iter_lines_chunked(
+            dataset.injection.events
+        )
+    return iter(dataset.console_text.splitlines())
+
+
+def _persist_console_shards(
+    store: ArtifactStore,
+    dkey: str,
+    dataset: Any,
+    shard_lines: int,
+) -> None:
+    """Stream the console layer into per-shard artifacts + a manifest.
+
+    Shards are written first, the manifest last — a crash mid-persist
+    leaves no manifest, so the layer reads as absent, never as a
+    partially-valid shard set (mirroring ``write_shards``).
+    """
+    import hashlib
+
+    from repro.stream.shards import iter_shard_payloads
+
+    shards: list[ShardInfo] = []
+    total_lines = 0
+    total_bytes = 0
+    for n_lines, text in iter_shard_payloads(
+        _console_line_source(dataset), max_lines_per_shard=shard_lines
+    ):
+        payload = text.encode("utf-8")
+        name = _console_shard_layer(len(shards))
+        store.put(_layer_key(dkey, name), text, "text")
+        shards.append(
+            ShardInfo(
+                name=name,
+                lines=n_lines,
+                nbytes=len(payload),
+                sha256=hashlib.sha256(payload).hexdigest(),
+            )
+        )
+        total_lines += n_lines
+        total_bytes += len(payload)
+    manifest = ShardManifest(
+        total_lines=total_lines,
+        total_bytes=total_bytes,
+        shards=tuple(shards),
+    )
+    store.put(
+        _layer_key(dkey, _CONSOLE_MANIFEST_LAYER), manifest.to_doc(), "json"
+    )
+
+
 def persist_dataset(
     store: ArtifactStore,
     dataset: "Union[SimulationDataset, CachedDataset]",
     *,
     epoch: int = PIPELINE_EPOCH,
+    streaming: bool = False,
+    shard_lines: int = DEFAULT_SHARD_LINES,
 ) -> str:
     """Write every observable layer of ``dataset``; returns the dataset key.
 
     Materializing ``parsed`` forces the render → parse pipeline, so a
-    cold persist pays the full collection cost exactly once.
+    cold persist pays the full collection cost exactly once.  With
+    ``streaming=True`` the console layer is written as whole-line
+    shards (``shard_lines`` lines each) under the same dataset key and
+    the monolithic string is never materialized here.
     """
     if getattr(dataset, "provenance", "simulated") == "modified":
         raise ValueError(
@@ -248,15 +354,19 @@ def persist_dataset(
         )
     dkey = dataset_key(dataset.scenario, epoch=epoch)
     layers: dict[str, Any] = {
-        "console": dataset.console_text,
         "parsed": (dataset.parsed_events, dataset.parse_stats),
         "nvsmi": dataset.nvsmi_table,
         "jobsnap": dataset.jobsnap_records,
         "trace": dataset.trace,
     }
+    if not streaming:
+        layers["console"] = dataset.console_text
     with perf.stage("cache.persist"):
         for layer, kind in DATASET_LAYERS:
-            store.put(_layer_key(dkey, layer), layers[layer], kind)
+            if layer in layers:
+                store.put(_layer_key(dkey, layer), layers[layer], kind)
+        if streaming:
+            _persist_console_shards(store, dkey, dataset, shard_lines)
     return dkey
 
 
@@ -276,6 +386,12 @@ def load_dataset(
     decoded: dict[str, Any] = {}
     with perf.stage("cache.load"):
         for layer, _kind in DATASET_LAYERS:
+            if layer == "console":
+                console = _load_console_layer(store, dkey)
+                if console is None:
+                    return None
+                decoded[layer] = console
+                continue
             obj = store.get(_layer_key(dkey, layer))
             if obj is None:
                 return None
@@ -290,6 +406,57 @@ def load_dataset(
     )
 
 
+def _load_console_layer(
+    store: ArtifactStore, dkey: str
+) -> "Union[str, Callable[[], str], None]":
+    """The console layer in whichever form it was persisted.
+
+    Monolithic wins when both forms exist (it is already one decode).
+    A sharded layer is *verified* eagerly — every shard is decoded
+    (store checksums) and its payload re-digested against the
+    manifest, one shard resident at a time — but *reassembled* lazily:
+    the returned thunk re-reads the shards only if ``console_text`` is
+    actually touched.  Any missing or drifted shard degrades to a miss
+    (``None``), and the caller recomputes.
+    """
+    text = store.get(_layer_key(dkey, "console"))
+    if text is not None:
+        return text
+    doc = store.get(_layer_key(dkey, _CONSOLE_MANIFEST_LAYER))
+    if doc is None:
+        return None
+    import hashlib
+
+    try:
+        manifest = ShardManifest.from_doc(doc)
+    except (ShardCorruption, KeyError, TypeError, ValueError):
+        return None
+    for shard in manifest.shards:
+        payload = store.get(_layer_key(dkey, shard.name))
+        if payload is None or not isinstance(payload, str):
+            return None
+        encoded = payload.encode("utf-8")
+        if (
+            len(encoded) != shard.nbytes
+            or hashlib.sha256(encoded).hexdigest() != shard.sha256
+        ):
+            return None
+
+    def reassemble() -> str:
+        parts: list[str] = []
+        for shard in manifest.shards:
+            payload = store.get(_layer_key(dkey, shard.name))
+            if payload is None:
+                raise ShardCorruption(
+                    f"console shard {shard.name} vanished after load "
+                    f"verification (dataset {dkey})"
+                )
+            parts.append(payload)
+        return "".join(parts)
+
+    return reassemble
+
+
 def has_dataset(
     store: ArtifactStore,
     scenario: "Scenario",
@@ -300,9 +467,21 @@ def has_dataset(
 
     Full validation happens on :func:`load_dataset`; a probe that lies
     (an artifact exists but is corrupt) only costs a recompute later.
+    The console layer counts as present in either form — monolithic
+    artifact or shard manifest.
     """
     dkey = dataset_key(scenario, epoch=epoch)
-    return all(store.has(_layer_key(dkey, layer)) for layer, _ in DATASET_LAYERS)
+    for layer, _ in DATASET_LAYERS:
+        if layer == "console":
+            if not (
+                store.has(_layer_key(dkey, layer))
+                or store.has(_layer_key(dkey, _CONSOLE_MANIFEST_LAYER))
+            ):
+                return False
+            continue
+        if not store.has(_layer_key(dkey, layer)):
+            return False
+    return True
 
 
 def load_or_simulate(
@@ -311,6 +490,8 @@ def load_or_simulate(
     *,
     require_ground_truth: bool = False,
     epoch: int = PIPELINE_EPOCH,
+    streaming: bool = False,
+    shard_lines: int = DEFAULT_SHARD_LINES,
 ) -> "tuple[Union[SimulationDataset, CachedDataset], bool]":
     """The incremental front door: ``(dataset, warm)``.
 
@@ -322,6 +503,13 @@ def load_or_simulate(
     * ``require_ground_truth=True`` — always simulate (validation needs
       the injector's ledgers), but still persist the layers so future
       observable-only runs are warm.
+
+    ``streaming=True`` keeps the cold path inside a fixed memory
+    budget: the simulation parses its console round-trip in streamed
+    chunks and the console layer persists as shards (``shard_lines``
+    each) — results and dataset keys are identical either way, so a
+    streamed run warms the cache for monolithic consumers and vice
+    versa.
     """
     from repro.sim.simulation import TitanSimulation
 
@@ -329,7 +517,13 @@ def load_or_simulate(
         cached = load_dataset(store, scenario, epoch=epoch)
         if cached is not None:
             return cached, True
-    dataset = TitanSimulation(scenario).run()
+    dataset = TitanSimulation(scenario, streaming=streaming).run()
     if store is not None:
-        persist_dataset(store, dataset, epoch=epoch)
+        persist_dataset(
+            store,
+            dataset,
+            epoch=epoch,
+            streaming=streaming,
+            shard_lines=shard_lines,
+        )
     return dataset, False

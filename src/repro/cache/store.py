@@ -238,6 +238,15 @@ class ArtifactStore:
             self._drop_corrupt(key)
             return None
         self.stats.hits += 1
+        # Touch on read: eviction orders by mtime, so without this a
+        # hot artifact written long ago is evicted before a cold one
+        # written yesterday (FIFO, not LRU).  A racing evict/cleanup
+        # may have unlinked the file since we read it — losing the
+        # touch then is harmless, the artifact is gone anyway.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return payload, kind
 
     @staticmethod
@@ -397,8 +406,12 @@ class ArtifactStore:
     # -- maintenance ---------------------------------------------------------
 
     def evict(self, max_bytes: int) -> list[str]:
-        """Drop least-recently-modified artifacts until the store fits
-        ``max_bytes``; returns the evicted keys (oldest first)."""
+        """Drop least-recently-*used* artifacts until the store fits
+        ``max_bytes``; returns the evicted keys (coldest first).
+
+        Reads touch their artifact's mtime (see :meth:`get_bytes`), so
+        recency means last access, not last write; ``(mtime, key)``
+        keeps the order total when timestamps tie."""
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         entries = sorted(self.entries(), key=lambda e: (e.mtime, e.key))

@@ -211,13 +211,53 @@ class EventLog:
 
 
 class EventLogBuilder:
-    """Accumulates events cheaply, freezing to an :class:`EventLog`."""
+    """Accumulates events cheaply, freezing to an :class:`EventLog`.
 
-    def __init__(self) -> None:
+    With ``spool_rows`` set, the live Python lists are drained into
+    frozen columnar chunks whenever they reach that many rows, so the
+    builder's peak footprint is one chunk of lists plus the (much
+    denser) numpy chunks — the cascade fan-out at machine scale never
+    holds millions of boxed Python ints.  Spooling is invisible to
+    callers: row indices returned by :meth:`add`/:meth:`append_raw`
+    stay global, ``len`` counts all rows, and :meth:`freeze`
+    concatenates chunks in order, producing arrays bit-identical to an
+    unspooled build.
+    """
+
+    def __init__(self, *, spool_rows: int | None = None) -> None:
+        if spool_rows is not None and spool_rows < 1:
+            raise ValueError("spool_rows must be >= 1 or None")
+        self._spool_rows = spool_rows
+        self._chunks: list[EventLog] = []
+        self._frozen_rows = 0
         self._rows: dict[str, list] = {name: [] for name in _COLUMNS}
 
     def __len__(self) -> int:
-        return len(self._rows["time"])
+        return self._frozen_rows + len(self._rows["time"])
+
+    def _spool(self) -> None:
+        """Freeze the live lists into a chunk and clear them."""
+        if not self._rows["time"]:
+            return
+        chunk = EventLog(
+            **{
+                name: np.asarray(vals, dtype=_DTYPES[name])
+                for name, vals in self._rows.items()
+            }
+        )
+        self._chunks.append(chunk)
+        self._frozen_rows += len(chunk)
+        # Clear in place: raw_columns() callers hold bound references
+        # to these exact list objects.
+        for vals in self._rows.values():
+            vals.clear()
+
+    def _maybe_spool(self) -> None:
+        if (
+            self._spool_rows is not None
+            and len(self._rows["time"]) >= self._spool_rows
+        ):
+            self._spool()
 
     def add(
         self,
@@ -241,7 +281,9 @@ class EventLogBuilder:
         self._rows["job"].append(int(job))
         self._rows["parent"].append(int(parent))
         self._rows["aux"].append(int(aux))
-        return len(self._rows["time"]) - 1
+        index = self._frozen_rows + len(self._rows["time"]) - 1
+        self._maybe_spool()
+        return index
 
     def append_raw(
         self,
@@ -269,7 +311,9 @@ class EventLogBuilder:
         rows["job"].append(job)
         rows["parent"].append(parent)
         rows["aux"].append(aux)
-        return len(rows["time"]) - 1
+        index = self._frozen_rows + len(rows["time"]) - 1
+        self._maybe_spool()
+        return index
 
     def raw_columns(self) -> dict[str, list]:
         """The live column lists, for trusted bulk appenders.
@@ -277,7 +321,10 @@ class EventLogBuilder:
         The parser's hot loop binds each column's ``append`` once and
         pushes already-encoded values directly, skipping the per-call
         overhead of :meth:`append_raw`.  Callers own the invariant that
-        every column receives the same number of values.
+        every column receives the same number of values.  Raw appends
+        bypass the spool check — streaming consumers bound memory by
+        chunking their *input* instead (see
+        :func:`repro.telemetry.parallel_parse.parse_lines_chunked`).
         """
         return self._rows
 
@@ -310,6 +357,22 @@ class EventLogBuilder:
         rows["job"].extend([int(job)] * n)
         rows["parent"].extend([int(parent)] * n)
         rows["aux"].extend([-1] * n)
+        self._maybe_spool()
+
+    def extend_frozen(self, log: EventLog) -> None:
+        """Adopt an already-frozen log as the next rows, zero-copy.
+
+        The log's columns become a builder chunk directly (no list
+        round-trip); its ``parent`` indices are kept verbatim, so —
+        exactly as with :meth:`extend_unsorted` — they stay valid only
+        if the log's rows land at their original offsets (extend into
+        an empty builder) or parents are treated as opaque.
+        """
+        if len(log) == 0:
+            return
+        self._spool()  # preserve ordering of any pending list rows
+        self._chunks.append(log)
+        self._frozen_rows += len(log)
 
     def extend_unsorted(self, log: EventLog) -> None:
         """Bulk-append every row of ``log``, values and order preserved.
@@ -332,6 +395,7 @@ class EventLogBuilder:
         rows["job"].extend(log.job.tolist())
         rows["parent"].extend(log.parent.tolist())
         rows["aux"].extend(log.aux.tolist())
+        self._maybe_spool()
 
     def add_many(
         self,
@@ -361,12 +425,24 @@ class EventLogBuilder:
         self._rows["aux"].extend(
             [-1] * n if aux is None else np.asarray(aux, dtype=np.int64).tolist()
         )
+        self._maybe_spool()
 
     def freeze(self) -> EventLog:
-        """Materialize the accumulated rows into an immutable log."""
-        return EventLog(
+        """Materialize the accumulated rows into an immutable log.
+
+        Spooled chunks concatenate in append order ahead of the live
+        rows; values, dtypes and row order are identical to an
+        unspooled build.
+        """
+        residual = EventLog(
             **{
                 name: np.asarray(vals, dtype=_DTYPES[name])
                 for name, vals in self._rows.items()
             }
         )
+        if not self._chunks:
+            return residual
+        logs = list(self._chunks)
+        if len(residual):
+            logs.append(residual)
+        return EventLog.concatenate(logs)

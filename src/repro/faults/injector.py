@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors.event import EventLog, EventLogBuilder
-from repro.faults.cascade import CascadeModel
+from repro.faults.cascade import CASCADE_SPOOL_ROWS, CascadeModel
 from repro.faults.hardware import HardwareInjector, HardwareOutcome
 from repro.faults.rates import RateConfig
 from repro.faults.sbe import SbeInjector, SbeOutcome
@@ -95,7 +95,7 @@ class FaultInjector:
         """Inject all fault classes over ``[start, end)``."""
         locator = JobLocator(trace, self.machine.allocation_rank)
 
-        parents = EventLogBuilder()
+        parents = EventLogBuilder(spool_rows=CASCADE_SPOOL_ROWS)
         hw = self.hardware.inject_dbes(start, end, parents, locator)
         hw.n_otb = self.hardware.inject_off_the_bus(start, end, parents, locator)
         sw_counts = self.software.inject_application(start, end, parents, locator)
@@ -104,16 +104,17 @@ class FaultInjector:
         with_children = self.cascade.apply(parents.freeze(), locator)
 
         # SBEs run last: card replacements above already pruned the fleet.
-        sbe_builder = EventLogBuilder()
+        sbe_builder = EventLogBuilder(spool_rows=CASCADE_SPOOL_ROWS)
         sbe_out: SbeOutcome = self.sbe.inject(trace, start, end, sbe_builder, locator)
 
-        merge = EventLogBuilder()
-        merge.extend_unsorted(with_children)
-        merge.extend_unsorted(sbe_builder.freeze())
         # Children of rows in `with_children` keep valid indices because
-        # the SBE rows extend *after* them; the single finalize sort
-        # remaps all parent indices.
-        events = merge.freeze().sorted_by_time()
+        # the SBE rows concatenate *after* them; the single finalize
+        # sort remaps all parent indices.  Columnar concatenation (no
+        # Python-list round-trip) keeps the merge inside the streaming
+        # memory budget at machine scale.
+        events = EventLog.concatenate(
+            [with_children, sbe_builder.freeze()]
+        ).sorted_by_time()
 
         return InjectionResult(
             events=events,

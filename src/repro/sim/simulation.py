@@ -31,7 +31,10 @@ from repro.gpu.fleet import GPUFleet
 from repro.rng import RngTree
 from repro.sim.scenario import Scenario
 from repro.telemetry.console import ConsoleLogWriter
-from repro.telemetry.parallel_parse import parse_text_parallel
+from repro.telemetry.parallel_parse import (
+    parse_lines_chunked,
+    parse_text_parallel,
+)
 from repro.telemetry.jobsnap import JobSnapshotFramework, JobSnapshotRecord
 from repro.telemetry.nvsmi import NvidiaSmi
 from repro.telemetry.parser import ParseStats
@@ -74,6 +77,13 @@ class SimulationDataset:
     #: Output is byte-identical at any worker count; this only trades
     #: wall time — see :mod:`repro.telemetry.parallel_parse`.
     parse_workers: int = 0
+    #: Stream the console round-trip instead of materializing the full
+    #: log text: events render chunk-by-chunk straight into the chunked
+    #: parser, so peak memory is one render window plus one line chunk
+    #: no matter the machine scale.  The parsed log and statistics are
+    #: bit-identical to the monolithic path; only ``console_text``
+    #: still materializes the whole string (on demand, if asked).
+    streaming: bool = False
     _console_text: Optional[str] = field(default=None, repr=False)
     _parsed: Optional[tuple[EventLog, ParseStats]] = field(default=None, repr=False)
     _nvsmi_table: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
@@ -104,11 +114,22 @@ class SimulationDataset:
 
     def _parse(self) -> tuple[EventLog, ParseStats]:
         if self._parsed is None:
-            text = self.console_text
-            with perf.stage("telemetry.parse"):
-                log, stats = parse_text_parallel(
-                    text, self.machine, n_workers=self.parse_workers
-                )
+            if self.streaming and self._console_text is None:
+                # Render → parse as one streamed pass; the full log
+                # text never exists.  (A chaos-replaced stream ignores
+                # the flag — the replacement text *is* the artifact.)
+                writer = ConsoleLogWriter(self.machine)
+                with perf.stage("telemetry.parse"):
+                    log, stats = parse_lines_chunked(
+                        writer.iter_lines_chunked(self.injection.events),
+                        self.machine,
+                    )
+            else:
+                text = self.console_text
+                with perf.stage("telemetry.parse"):
+                    log, stats = parse_text_parallel(
+                        text, self.machine, n_workers=self.parse_workers
+                    )
             with perf.stage("telemetry.sort"):
                 self._parsed = (log.sorted_by_time(), stats)
             perf.count("telemetry.lines", stats.total_lines)
@@ -191,13 +212,24 @@ class TitanSimulation:
 
     ``parse_workers`` is forwarded to the produced dataset's lazy
     console parse (see :mod:`repro.telemetry.parallel_parse`); it never
-    changes results, only wall time.
+    changes results, only wall time.  ``streaming`` selects the
+    bounded-memory console round-trip (bit-identical results; see
+    :class:`SimulationDataset.streaming`) — the streamed parse is
+    serial, so ``parse_workers`` only matters if the monolithic text is
+    later materialized anyway.
     """
 
-    def __init__(self, scenario: Scenario, *, parse_workers: int = 0) -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        parse_workers: int = 0,
+        streaming: bool = False,
+    ) -> None:
         scenario.validate()
         self.scenario = scenario
         self.parse_workers = int(parse_workers)
+        self.streaming = bool(streaming)
 
     def run(self) -> SimulationDataset:
         sc = self.scenario
@@ -243,6 +275,7 @@ class TitanSimulation:
             injection=injection,
             nvsmi=nvsmi,
             parse_workers=self.parse_workers,
+            streaming=self.streaming,
         )
 
 

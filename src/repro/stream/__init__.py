@@ -1,0 +1,41 @@
+"""repro.stream — out-of-core, sharded telemetry with a memory budget.
+
+The generation side renders telemetry straight to whole-line-aligned
+disk shards (:func:`write_shards`) instead of joining one giant
+string; the consumption side parses shard manifests back with bounded
+memory (:func:`repro.telemetry.parallel_parse.parse_shards_parallel`)
+and the cache persists sharded console layers under the same dataset
+keys as the monolithic path.  See docs/PERFORMANCE.md ("Memory").
+"""
+
+from repro.stream.shards import (
+    DEFAULT_SHARD_LINES,
+    MANIFEST_NAME,
+    ShardCorruption,
+    ShardInfo,
+    ShardManifest,
+    iter_shard_lines,
+    iter_shard_payloads,
+    iter_shard_texts,
+    read_manifest,
+    read_shard_text,
+    reassemble_text,
+    verify_shards,
+    write_shards,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_LINES",
+    "MANIFEST_NAME",
+    "ShardCorruption",
+    "ShardInfo",
+    "ShardManifest",
+    "iter_shard_lines",
+    "iter_shard_payloads",
+    "iter_shard_texts",
+    "read_manifest",
+    "read_shard_text",
+    "reassemble_text",
+    "verify_shards",
+    "write_shards",
+]

@@ -26,6 +26,9 @@ the modeled fleet size for the scaling-projection figure.
 
 from __future__ import annotations
 
+import math
+from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass, replace
 from typing import Any, Optional
 
@@ -76,7 +79,7 @@ class SweepPoint:
     #: Ground-truth simulation requested (availability section).
     availability: bool
     scenario: Any
-    #: Modeled fleet size (``round(18688 * scale)``).
+    #: Modeled fleet size (``18688 * scale``, half-up rounded).
     n_nodes: int
     #: All scenario axes at baseline *and* no corruption: this point's
     #: figures are the single-scenario golden trace.
@@ -116,25 +119,100 @@ def _branch_name(
     )
 
 
+def _scaled_nodes(scale: float) -> int:
+    """Modeled fleet size: ``18688 * scale`` rounded half away from
+    zero.
+
+    ``round()`` is banker's rounding — ties go to the *even* integer,
+    so ``round(18688 * 2.5)`` and a neighboring half-integer product
+    can round in opposite directions and two nearby scales land on the
+    same fleet size.  ``floor(x + 0.5)`` rounds every ``.5`` up, which
+    is the monotone behavior a scale axis needs (larger scale never
+    maps to a smaller fleet).
+    """
+    return int(math.floor(N_COMPUTE_NODES * scale + 0.5))
+
+
 def _human_label(
     scale: float,
     rates: RateMultipliers,
     window: Optional[float],
     burst: float,
     corruption: float,
+    encode: Optional[Callable[[float], str]] = None,
 ) -> str:
+    """Human label for one axis tuple; baseline axes are omitted.
+
+    ``encode`` overrides the float rendering (default ``%g``).  With an
+    *exact* encoder (``repr``, ``float.hex``) the label is injective
+    over distinct axis tuples — the collision-escalation pass in
+    :func:`_dedup_labels` relies on that.
+    """
+    if encode is None:
+        enc = lambda x: f"{x:g}"  # noqa: E731
+    else:
+        enc = encode
     parts: list[str] = []
     if scale != 1.0:
-        parts.append(f"scale={scale:g}")
+        parts.append(f"scale={enc(scale)}")
     if not rates.is_baseline:
-        parts.append(rates.label())
+        if encode is None:
+            parts.append(rates.label())
+        else:
+            parts.extend(
+                f"{name}*{enc(value)}"
+                for name, value in (
+                    ("dbe", rates.dbe),
+                    ("otb", rates.otb),
+                    ("sbe", rates.sbe),
+                    ("xid", rates.xid),
+                )
+                if value != 1.0
+            )
     if window is not None:
-        parts.append(f"window={window:g}d")
+        parts.append(f"window={enc(window)}d")
     if burst != 1.0:
-        parts.append(f"burst={burst:g}")
+        parts.append(f"burst={enc(burst)}")
     if corruption != 0.0:
-        parts.append(f"corr={corruption:g}")
+        parts.append(f"corr={enc(corruption)}")
     return ",".join(parts) if parts else "anchor"
+
+
+def _dedup_labels(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Make point labels collision-free by escalating the encoding.
+
+    ``%g`` keeps six significant digits, so two distinct axis values
+    like ``1.0000001`` and ``1.0000002`` both label ``scale=1`` — the
+    journal and summaries then show two points under one name.  Any
+    label shared by more than one point is re-rendered with ``repr``
+    (shortest round-tripping form) and, should reprs still collide,
+    with ``float.hex`` — exact, so distinct axis tuples are guaranteed
+    distinct labels.  Unique labels keep their friendly ``%g`` form,
+    and hex-form labels can never collide with ``%g``/``repr`` ones
+    (only hex renderings contain ``0x``).
+    """
+    labels = [p.label for p in points]
+    for encode in (repr, lambda x: float(x).hex()):
+        counts = Counter(labels)
+        if all(n == 1 for n in counts.values()):
+            break
+        labels = [
+            _human_label(
+                p.scale,
+                p.rates,
+                p.window_days,
+                p.burst,
+                p.corruption,
+                encode=encode,
+            )
+            if counts[label] > 1
+            else label
+            for p, label in zip(points, labels)
+        ]
+    return [
+        p if p.label == label else replace(p, label=label)
+        for p, label in zip(points, labels)
+    ]
 
 
 def _transformed_rates(
@@ -243,9 +321,9 @@ def expand(spec: SweepSpec) -> tuple[SweepPoint, ...]:
                                 corruption=float(corruption),
                                 availability=spec.availability,
                                 scenario=scenario,
-                                n_nodes=round(N_COMPUTE_NODES * scale),
+                                n_nodes=_scaled_nodes(scale),
                                 is_anchor=baseline and corruption == 0.0,
                             )
                         )
                         index += 1
-    return tuple(points)
+    return tuple(_dedup_labels(points))

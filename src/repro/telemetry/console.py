@@ -18,14 +18,26 @@ from __future__ import annotations
 
 import io
 from collections.abc import Iterator
+from pathlib import Path
 
 from repro.errors.event import STRUCTURE_CODES, EventLog, structure_from_code
 from repro.errors.xid import ErrorType, from_code
+from repro.stream.shards import (
+    DEFAULT_SHARD_LINES,
+    ShardManifest,
+    write_shards,
+)
 from repro.telemetry.timecodec import format_timestamps
 from repro.topology.machine import TitanMachine
 from repro.units import timestamp_to_datetime
 
-__all__ = ["render_event_line", "ConsoleLogWriter"]
+__all__ = ["render_event_line", "ConsoleLogWriter", "RENDER_CHUNK_ROWS"]
+
+#: Row granularity of the streaming render: timestamps vectorize one
+#: chunk at a time, so the writer never holds the whole stream's stamp
+#: strings at once.  Purely a memory knob — the rendered bytes are
+#: identical at any value.
+RENDER_CHUNK_ROWS: int = 131_072
 
 #: Short console phrasing per type (the SEC rules in sec.py must match).
 _PHRASES: dict[ErrorType, str] = {
@@ -160,6 +172,58 @@ class ConsoleLogWriter:
                 page=page if page >= 0 else None,
                 job=int(events.job[i]),
             )
+
+    def iter_lines_chunked(
+        self, events: EventLog, *, chunk_rows: int = RENDER_CHUNK_ROWS
+    ) -> Iterator[str]:
+        """Yield the exact :meth:`lines` sequence with bounded memory.
+
+        :meth:`lines` vectorizes every timestamp up front — one string
+        per event, all resident at once.  This variant slices the log
+        into ``chunk_rows`` row windows and renders each through the
+        same fast path, so at most one window's stamps are alive; the
+        emitted lines are byte-identical.
+        """
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        n = len(events)
+        for start in range(0, n, chunk_rows):
+            window = EventLog(
+                **{
+                    name: getattr(events, name)[start : start + chunk_rows]
+                    for name in (
+                        "time",
+                        "gpu",
+                        "etype",
+                        "structure",
+                        "job",
+                        "parent",
+                        "aux",
+                    )
+                }
+            )
+            yield from self.lines(window)
+
+    def write_shards(
+        self,
+        events: EventLog,
+        directory: str | Path,
+        *,
+        max_lines_per_shard: int = DEFAULT_SHARD_LINES,
+    ) -> ShardManifest:
+        """Render straight to whole-line-aligned disk shards.
+
+        The concatenated shard payloads are byte-identical to
+        :meth:`to_text` (every line newline-terminated); see
+        :mod:`repro.stream.shards` for the manifest/digest contract.
+        Peak memory is one render window plus one shard buffer,
+        regardless of the stream's total size.
+        """
+        return write_shards(
+            self.iter_lines_chunked(events),
+            directory,
+            max_lines_per_shard=max_lines_per_shard,
+        )
 
     def write(self, events: EventLog, stream: io.TextIOBase) -> int:
         """Write all lines; returns the number written."""

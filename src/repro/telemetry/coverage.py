@@ -182,7 +182,14 @@ def infer_outage_windows(
         # Nothing observed at all: one outage covering the whole span.
         return ObservedWindows(float(start), float(end), ())
     margin = min_gap_s / 2.0
-    anchors = np.concatenate(([start - margin], ts, [end + margin - 1e-9]))
+    # Virtual anchors sit ``margin`` outside both edges so an edge-
+    # adjacent silence is measured like an interior one; the inferred
+    # outage then clamps exactly to ``start``/``end``.  (An earlier
+    # version shaved 1e-9 s off the end anchor, which left a phantom
+    # observed sliver ``(end - 1e-9, end)`` behind any trailing outage
+    # — the outage effectively vanished from the window set,
+    # overstating coverage and biasing gap-corrected MTBF.)
+    anchors = np.concatenate(([start - margin], ts, [end + margin]))
     gaps = np.diff(anchors)
     outages = [
         (float(anchors[i] + margin), float(anchors[i + 1] - margin))

@@ -21,10 +21,17 @@ Figs. 16–20 consume the resulting records.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
+from repro.stream.shards import (
+    DEFAULT_SHARD_LINES,
+    ShardManifest,
+    write_shards,
+)
 from repro.workload.jobs import JobTrace
 
 __all__ = [
@@ -32,6 +39,8 @@ __all__ = [
     "JobSnapshotFramework",
     "JobsnapParseStats",
     "render_jobsnap_records",
+    "iter_jobsnap_lines",
+    "write_jobsnap_shards",
     "parse_jobsnap_records",
     "JOBSNAP_HEADER",
 ]
@@ -134,14 +143,41 @@ _MAX_INT_FIELD = 2**62
 
 def render_jobsnap_records(records: list[JobSnapshotRecord]) -> str:
     """Render snapshot records as the tab-separated collection stream."""
-    lines = [JOBSNAP_HEADER]
+    return "\n".join(iter_jobsnap_lines(records)) + "\n"
+
+
+def iter_jobsnap_lines(records: list[JobSnapshotRecord]) -> Iterator[str]:
+    """Header + one row per record — the lines of the record stream.
+
+    Newline-terminated concatenation is byte-identical to
+    :func:`render_jobsnap_records`.
+    """
+    yield JOBSNAP_HEADER
     for r in records:
-        lines.append(
+        yield (
             f"{r.job}\t{r.user}\t{r.n_nodes}\t{r.gpu_core_hours:.6f}"
             f"\t{r.max_memory_gb:.6f}\t{r.total_memory:.6f}"
             f"\t{r.walltime_h:.6f}\t{r.sbe_delta}"
         )
-    return "\n".join(lines) + "\n"
+
+
+def write_jobsnap_shards(
+    records: list[JobSnapshotRecord],
+    directory: str | Path,
+    *,
+    max_lines_per_shard: int = DEFAULT_SHARD_LINES,
+) -> ShardManifest:
+    """Write the record stream as whole-line-aligned shards.
+
+    The parser skips header lines wherever they appear, so shard-wise
+    consumers can parse each shard independently; the reassembled text
+    equals :func:`render_jobsnap_records` byte for byte.
+    """
+    return write_shards(
+        iter_jobsnap_lines(records),
+        directory,
+        max_lines_per_shard=max_lines_per_shard,
+    )
 
 
 @dataclass

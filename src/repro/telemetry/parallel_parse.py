@@ -32,8 +32,16 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.errors.event import EventLog, EventLogBuilder
+from repro.errors.event import EventLog
+from repro.stream.shards import (
+    ShardInfo,
+    ShardManifest,
+    iter_shard_lines,
+    read_manifest,
+    read_shard_text,
+)
 from repro.telemetry.ingestion import (
     IngestionDegraded,
     IngestionError,
@@ -42,7 +50,14 @@ from repro.telemetry.ingestion import (
 from repro.telemetry.parser import ConsoleLogParser, ParseStats
 from repro.topology.machine import TitanMachine
 
-__all__ = ["parse_lines_parallel", "parse_text_parallel", "SERIAL_THRESHOLD"]
+__all__ = [
+    "parse_lines_parallel",
+    "parse_text_parallel",
+    "parse_lines_chunked",
+    "parse_shards_parallel",
+    "SERIAL_THRESHOLD",
+    "PARSE_CHUNK_LINES",
+]
 
 #: Below this many lines the pool is never worth its spawn cost.
 SERIAL_THRESHOLD: int = 80_000
@@ -50,6 +65,11 @@ SERIAL_THRESHOLD: int = 80_000
 #: Minimum lines per chunk; caps the effective worker count so tiny
 #: chunks do not drown the merge in per-chunk overhead.
 _MIN_CHUNK_LINES: int = 20_000
+
+#: Chunk granularity of the streaming serial parse
+#: (:func:`parse_lines_chunked`): how many raw lines are resident at
+#: once.  Purely a memory knob — results are identical at any value.
+PARSE_CHUNK_LINES: int = 131_072
 
 
 @dataclass(frozen=True)
@@ -149,6 +169,48 @@ def _merge_sink(target: QuarantineSink, chunk: QuarantineSink) -> None:
     target.n_overflowed += chunk.total - appended
 
 
+def _merge_results(
+    results: list[_ChunkResult],
+    quarantine: QuarantineSink | None,
+    error_budget: float | None,
+) -> tuple[EventLog, ParseStats]:
+    """Order-preserving merge of per-chunk results (shared by every
+    fan-out flavor: line chunks, disk shards).
+
+    Strict mode honors the globally earliest rejection, with the
+    caller's sink reflecting exactly the rejects a serial run saw
+    before raising (whole chunks before the failing one, plus the
+    failing chunk's partial sink).  The error budget is a whole-stream
+    property and is evaluated once here, on the merged statistics.
+    """
+    error_index = next(
+        (i for i, r in enumerate(results) if r.error is not None), None
+    )
+    if error_index is not None:
+        if quarantine is not None:
+            for result in results[: error_index + 1]:
+                if result.sink is not None:
+                    _merge_sink(quarantine, result.sink)
+        raise results[error_index].error
+
+    stats = ParseStats()
+    logs: list[EventLog] = []
+    for result in results:
+        logs.append(result.log)
+        _merge_stats(stats, result.stats)
+        if quarantine is not None and result.sink is not None:
+            _merge_sink(quarantine, result.sink)
+    log = EventLog.concatenate(logs) if logs else EventLog.empty()
+    if error_budget is not None and stats.corrupt_fraction > error_budget:
+        raise IngestionDegraded(
+            stats=stats,
+            budget=error_budget,
+            fraction=stats.corrupt_fraction,
+            log=log,
+        )
+    return log, stats
+
+
 def parse_lines_parallel(
     lines: Iterable[str],
     machine: TitanMachine,
@@ -204,37 +266,7 @@ def parse_lines_parallel(
         for start in range(0, len(lines), chunk_len)
     ]
     results = parallel_map(_parse_chunk, tasks, n_workers=n_workers)
-
-    # Strict mode: honor the globally earliest rejection, with the
-    # caller's sink reflecting exactly the rejects a serial run saw
-    # before raising (whole chunks before the failing one, plus the
-    # failing chunk's partial sink).
-    error_index = next(
-        (i for i, r in enumerate(results) if r.error is not None), None
-    )
-    if error_index is not None:
-        if quarantine is not None:
-            for result in results[: error_index + 1]:
-                if result.sink is not None:
-                    _merge_sink(quarantine, result.sink)
-        raise results[error_index].error
-
-    builder = EventLogBuilder()
-    stats = ParseStats()
-    for result in results:
-        builder.extend_unsorted(result.log)
-        _merge_stats(stats, result.stats)
-        if quarantine is not None and result.sink is not None:
-            _merge_sink(quarantine, result.sink)
-    log = builder.freeze()
-    if error_budget is not None and stats.corrupt_fraction > error_budget:
-        raise IngestionDegraded(
-            stats=stats,
-            budget=error_budget,
-            fraction=stats.corrupt_fraction,
-            log=log,
-        )
-    return log, stats
+    return _merge_results(results, quarantine, error_budget)
 
 
 def parse_text_parallel(
@@ -261,3 +293,198 @@ def parse_text_parallel(
         fast=fast,
         serial_threshold=serial_threshold,
     )
+
+
+# --------------------------------------------------------------------------
+# Streaming consumption (bounded memory; shard manifests)
+# --------------------------------------------------------------------------
+
+
+def parse_lines_chunked(
+    lines: Iterable[str],
+    machine: TitanMachine,
+    *,
+    chunk_lines: int = PARSE_CHUNK_LINES,
+    strict: bool = False,
+    resync: bool = True,
+    error_budget: float | None = None,
+    quarantine: QuarantineSink | None = None,
+    fast: bool = True,
+) -> tuple[EventLog, ParseStats]:
+    """Serially parse a line *iterator* without materializing it.
+
+    ``parse_lines_parallel`` starts with ``list(lines)`` — fine for a
+    smoke run, a few hundred MB of resident strings for a scale-4
+    sweep point.  This variant drains the iterator ``chunk_lines`` at
+    a time, parses each chunk with global line numbering, and merges
+    per-chunk results in order; because the parser keeps no cross-line
+    state (resync operates within a line) and every counter is
+    additive, the merged log, statistics, strict errors and quarantine
+    contents are identical to a monolithic serial parse.  Peak memory
+    is one chunk of raw lines plus the (unavoidable) output columns.
+    """
+    if error_budget is not None and not 0.0 <= error_budget <= 1.0:
+        raise ValueError("error_budget must be in [0, 1] or None")
+    if chunk_lines < 1:
+        raise ValueError("chunk_lines must be >= 1")
+    parser = ConsoleLogParser(
+        machine,
+        strict=strict,
+        resync=resync,
+        error_budget=None,  # whole-stream property; applied post-merge
+        quarantine=quarantine,
+        fast=fast,
+    )
+    logs: list[EventLog] = []
+    stats = ParseStats()
+    first_line_no = 1
+    buffer: list[str] = []
+
+    def drain() -> None:
+        nonlocal first_line_no
+        # The shared sink accumulates across calls exactly as a serial
+        # run's would; a strict IngestionError propagates with its
+        # true global line number.
+        log, chunk_stats = parser.parse_lines(
+            buffer, first_line_no=first_line_no
+        )
+        logs.append(log)
+        _merge_stats(stats, chunk_stats)
+        first_line_no += len(buffer)
+        buffer.clear()
+
+    for line in lines:
+        buffer.append(line)
+        if len(buffer) >= chunk_lines:
+            drain()
+    if buffer or not logs:
+        drain()
+
+    log = EventLog.concatenate(logs)
+    if error_budget is not None and stats.corrupt_fraction > error_budget:
+        raise IngestionDegraded(
+            stats=stats,
+            budget=error_budget,
+            fraction=stats.corrupt_fraction,
+            log=log,
+        )
+    return log, stats
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker's shard: a disk pointer, not a payload (picklable)."""
+
+    directory: str
+    shard: ShardInfo
+    first_line_no: int
+    verify: bool
+    folded_torus: bool
+    strict: bool
+    resync: bool
+    fast: bool
+    quarantine_capacity: int | None
+
+
+def _parse_shard(task: _ShardTask) -> _ChunkResult:
+    """Worker: read, digest-verify and parse one shard.
+
+    :class:`~repro.stream.shards.ShardCorruption` propagates out of the
+    pool unwrapped — a shard that drifted from its manifest is an
+    infrastructure fault, not parse damage, and must never degrade
+    silently into statistics.
+    """
+    text = read_shard_text(task.directory, task.shard, verify=task.verify)
+    sink = (
+        None
+        if task.quarantine_capacity is None
+        else QuarantineSink(capacity=task.quarantine_capacity)
+    )
+    parser = ConsoleLogParser(
+        _worker_machine(task.folded_torus),
+        strict=task.strict,
+        resync=task.resync,
+        error_budget=None,
+        quarantine=sink,
+        fast=task.fast,
+    )
+    try:
+        log, stats = parser.parse_lines(
+            text.splitlines(), first_line_no=task.first_line_no
+        )
+    except IngestionError as exc:
+        return _ChunkResult(EventLog.empty(), ParseStats(), sink, exc)
+    return _ChunkResult(log, stats, sink, None)
+
+
+def parse_shards_parallel(
+    directory: str | Path,
+    machine: TitanMachine,
+    *,
+    manifest: ShardManifest | None = None,
+    n_workers: int = 1,
+    strict: bool = False,
+    resync: bool = True,
+    error_budget: float | None = None,
+    quarantine: QuarantineSink | None = None,
+    fast: bool = True,
+    verify: bool = True,
+    serial_threshold: int = SERIAL_THRESHOLD,
+) -> tuple[EventLog, ParseStats]:
+    """Parse a shard directory written by ``write_shards``.
+
+    The observable results — log rows, statistics, strict errors,
+    quarantine contents — are identical to parsing the reassembled
+    monolithic text serially, but no process ever holds more than one
+    shard's text: the serial path streams shard by shard through
+    :func:`parse_lines_chunked`, and the parallel path ships workers
+    *shard pointers* (name, digest, global first line) so each worker
+    pulls its own payload off disk.  Shards are digest-verified on
+    read (``verify=False`` skips, for already-verified cache loads);
+    a mismatch raises :class:`~repro.stream.shards.ShardCorruption`.
+
+    Shard boundaries are whole-line aligned by construction, so the
+    partition invariant and the merge semantics are exactly those of
+    :func:`parse_lines_parallel`; only the default SEC rule catalog is
+    supported in parallel.
+    """
+    if error_budget is not None and not 0.0 <= error_budget <= 1.0:
+        raise ValueError("error_budget must be in [0, 1] or None")
+    directory = Path(directory)
+    if manifest is None:
+        manifest = read_manifest(directory)
+
+    if n_workers <= 1 or manifest.total_lines < max(serial_threshold, 2):
+        return parse_lines_chunked(
+            iter_shard_lines(directory, manifest, verify=verify),
+            machine,
+            strict=strict,
+            resync=resync,
+            error_budget=error_budget,
+            quarantine=quarantine,
+            fast=fast,
+        )
+
+    from repro.parallel.pool import parallel_map
+
+    tasks = []
+    first_line_no = 1
+    for shard in manifest.shards:
+        tasks.append(
+            _ShardTask(
+                directory=str(directory),
+                shard=shard,
+                first_line_no=first_line_no,
+                verify=verify,
+                folded_torus=machine.folded_torus,
+                strict=strict,
+                resync=resync,
+                fast=fast,
+                quarantine_capacity=(
+                    None if quarantine is None else quarantine.capacity
+                ),
+            )
+        )
+        first_line_no += shard.lines
+    results = parallel_map(_parse_shard, tasks, n_workers=n_workers)
+    return _merge_results(results, quarantine, error_budget)

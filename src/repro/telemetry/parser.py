@@ -424,6 +424,8 @@ class ConsoleLogParser:
                 return
             self._reject(stats, "malformed", line_no, line)
             return
+        if self.resync and self._try_split_seam(builder, stats, line_no, line):
+            return
         try:
             etype = classify_line(match["body"], self.rules)
         except UnmatchedLine:
@@ -478,6 +480,46 @@ class ConsoleLogParser:
             job=job,
             aux=page,
         )
+        return True
+
+    def _try_split_seam(
+        self,
+        builder: EventLogBuilder,
+        stats: ParseStats,
+        line_no: int,
+        line: str,
+    ) -> bool:
+        """Recover two records fused by a missing newline (shard seam).
+
+        A rendered log that lost its final newline and was concatenated
+        with the next shard produces one physical line holding *two*
+        complete records back to back.  When the text before the first
+        embedded ``timestamp cname`` anchor is itself a fully valid GPU
+        record, emit it and parse the tail as its own logical line
+        (counted in ``total_lines`` and marked resynced).  Anything
+        short of that — garbage prefixes, torn heads, pristine lines
+        (whose bodies never contain a stamp) — falls back to the
+        ordinary single-record path, so existing splice semantics are
+        untouched.
+        """
+        anchor = _RESYNC_RE.search(line, 1)
+        if anchor is None:
+            return False
+        head = line[: anchor.start()]
+        head_match = _LINE_RE.match(head)
+        if head_match is None:
+            return False
+        try:
+            etype = classify_line(head_match["body"], self.rules)
+        except UnmatchedLine:
+            return False
+        if etype is None or not self._emit(builder, stats, head_match, etype):
+            return False
+        stats.parsed_events += 1
+        # The tail is an extra logical line recovered from the seam.
+        stats.total_lines += 1
+        stats.resynced_lines += 1
+        self._parse_one(builder, stats, line_no, line[anchor.start():])
         return True
 
     def _try_resync(

@@ -30,6 +30,7 @@ _DETERMINISTIC_PREFIXES = (
     "repro.telemetry",
     "repro.chaos",
     "repro.cache",
+    "repro.stream",
 )
 
 _DETERMINISTIC_PATH_PARTS = tuple(

@@ -686,7 +686,9 @@ class TestRL102:
 
 
 class TestRL103:
-    DET_DIRS = ("sim", "faults", "workload", "telemetry", "chaos", "cache")
+    DET_DIRS = (
+        "sim", "faults", "workload", "telemetry", "chaos", "cache", "stream"
+    )
 
     def _tree(self, tmp_path: Path, surface_line: str | None) -> Path:
         for d in self.DET_DIRS:
